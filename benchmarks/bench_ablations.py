@@ -1,0 +1,42 @@
+"""Ablations of this reproduction's design choices (DESIGN.md §7).
+
+* rule (b) queue realization: the published per-pair queues versus the
+  semantically identical per-producer log with consumer cursors.
+* SmartTrack's epoch acquire queues versus FTO's vector-clock queues
+  (paper §4.2 "Optimizing Acq"), measured via the queue footprints.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.fto import FTODC
+from repro.core.smarttrack import SmartTrackDC
+from repro.core.unopt import UnoptDC
+
+
+@pytest.mark.parametrize("style", ["log", "pairwise"])
+@pytest.mark.parametrize("program", ["h2", "xalan", "tomcat"])
+def test_rule_b_queue_styles(benchmark, meas, program, style):
+    trace = meas.trace_for(program)
+    report = benchmark.pedantic(
+        lambda: UnoptDC(trace, rule_b_style=style).run(),
+        rounds=1, iterations=1)
+    assert report.events_processed == len(trace)
+
+
+def test_epoch_queues_use_less_memory(benchmark, meas, results_dir):
+    trace = meas.trace_for("h2")
+
+    def measure():
+        st = SmartTrackDC(trace)
+        st.run()
+        fto = FTODC(trace)
+        fto.run()
+        return st._queues.footprint_bytes(), fto._queues.footprint_bytes()
+
+    st_bytes, fto_bytes = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert st_bytes < fto_bytes
+    write_result(results_dir, "ablation_rule_b.txt",
+                 "SmartTrack epoch queues: {} bytes\n"
+                 "FTO vector-clock queues: {} bytes".format(
+                     st_bytes, fto_bytes))

@@ -1,0 +1,30 @@
+"""Appendix Tables 8-11: multi-trial results with 95% confidence
+intervals (3 trials at reduced scale to keep the suite fast)."""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, write_result
+from repro.harness.measure import Measurements
+from repro.harness.tables import table_ci
+
+
+@pytest.fixture(scope="module")
+def meas_trials():
+    return Measurements(scale=bench_scale() * 0.4, trials=3)
+
+
+def test_write_time_cis(benchmark, meas_trials, results_dir):
+    text, data = benchmark.pedantic(
+        table_ci, args=(meas_trials, "time"), rounds=1, iterations=1)
+    assert data["avrora"]["fto-hb"][0] > 0
+    write_result(results_dir, "table8_time_ci.txt", text)
+
+
+def test_write_memory_cis(benchmark, meas_trials, results_dir):
+    text, data = benchmark.pedantic(
+        table_ci, args=(meas_trials, "memory"), rounds=1, iterations=1)
+    # memory factors are deterministic given the trace: tight CIs
+    for prog, cells in data.items():
+        for name, (m, half) in cells.items():
+            assert half <= 0.01 * m + 1e-9
+    write_result(results_dir, "table9_memory_ci.txt", text)

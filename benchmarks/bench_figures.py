@@ -1,0 +1,45 @@
+"""Figure gallery benches: the paper's example executions (Figures 1-4)
+run through the full analysis matrix, plus vindication of Figure 1/2
+races and refutation of Figure 3's false WDC race."""
+
+import pytest
+
+import repro
+from benchmarks.conftest import write_result
+from repro.workloads.figures import ALL_FIGURES
+
+MATRIX = ["fto-hb", "unopt-wcp", "st-wcp", "unopt-dc", "fto-dc", "st-dc",
+          "unopt-wdc", "st-wdc"]
+
+
+@pytest.mark.parametrize("figure", sorted(ALL_FIGURES))
+def test_figure_matrix(benchmark, figure, results_dir):
+    trace = ALL_FIGURES[figure]()
+
+    def run_all():
+        return {name: repro.detect_races(trace, name).racy_vars
+                for name in MATRIX}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = ["{}:".format(figure)]
+    for name, racy in results.items():
+        lines.append("  {:<10} {}".format(
+            name, sorted(trace.name_of("var", v) for v in racy)))
+    write_result(results_dir, "figure_{}.txt".format(figure),
+                 "\n".join(lines))
+
+
+def test_vindication(benchmark, results_dir):
+    from repro.workloads import figure1, figure2, figure3
+
+    def vindicate_all():
+        return {
+            "figure1": repro.vindicate_first_race(figure1(), "st-wdc").verdict,
+            "figure2": repro.vindicate_first_race(figure2(), "st-dc").verdict,
+            "figure3": repro.vindicate_first_race(figure3(), "st-wdc").verdict,
+        }
+
+    verdicts = benchmark.pedantic(vindicate_all, rounds=1, iterations=1)
+    assert verdicts == {"figure1": "vindicated", "figure2": "vindicated",
+                        "figure3": "refuted"}
+    write_result(results_dir, "figure_vindication.txt", repr(verdicts))

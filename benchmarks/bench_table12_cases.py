@@ -1,0 +1,18 @@
+"""Table 12 (appendix B): SmartTrack-WDC case frequencies."""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.harness.tables import table12
+
+
+def test_write_table12(benchmark, meas, results_dir):
+    text, data = benchmark.pedantic(table12, args=(meas,),
+                                    rounds=1, iterations=1)
+    # owned + exclusive cases dominate (paper Table 12)
+    for prog, kinds in data.items():
+        reads = kinds["read"]
+        if reads["total"]:
+            fast = reads["OwnExcl"] + reads["OwnShared"] + reads["Excl"]
+            assert fast > 50.0, prog
+    write_result(results_dir, "table12.txt", text)

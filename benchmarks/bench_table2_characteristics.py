@@ -1,0 +1,28 @@
+"""Table 2: run-time characteristics of the evaluated programs.
+
+Regenerates the threads / events / NSEAs / locks-held-at-NSEAs table and
+benchmarks the characteristics pass itself.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.harness.tables import table2
+from repro.workloads.dacapo import program_names
+from repro.workloads.stats import characterize
+
+
+@pytest.mark.parametrize("program", program_names())
+def test_characterize(benchmark, meas, program):
+    trace = meas.trace_for(program)
+    ch = benchmark.pedantic(characterize, args=(trace, program),
+                            rounds=1, iterations=1)
+    assert ch.events == len(trace)
+    assert 0 < ch.nseas <= ch.events
+
+
+def test_write_table2(benchmark, meas, results_dir):
+    text, data = benchmark.pedantic(table2, args=(meas,),
+                                    rounds=1, iterations=1)
+    assert len(data["rows"]) == 10
+    write_result(results_dir, "table2.txt", text)

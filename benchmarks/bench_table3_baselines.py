@@ -1,0 +1,28 @@
+"""Table 3: FastTrack baselines vs unoptimized DC/WDC (with/without the
+vindication constraint graph)."""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.registry import create
+from repro.harness.tables import TABLE3_ANALYSES, table3
+from repro.workloads.dacapo import program_names
+
+
+@pytest.mark.parametrize("program", program_names())
+@pytest.mark.parametrize("analysis", TABLE3_ANALYSES)
+def test_analysis(benchmark, meas, program, analysis):
+    trace = meas.trace_for(program)
+    report = benchmark.pedantic(
+        lambda: create(analysis, trace).run(), rounds=1, iterations=1)
+    assert report.events_processed == len(trace)
+
+
+def test_write_table3(benchmark, meas, results_dir):
+    text, data = benchmark.pedantic(table3, args=(meas,),
+                                    rounds=1, iterations=1)
+    # shape check: the graph-building variants cost more memory
+    for prog in program_names():
+        assert data["memory"][prog]["unopt-dc-g"] >= \
+            data["memory"][prog]["unopt-dc"]
+    write_result(results_dir, "table3.txt", text)

@@ -1,0 +1,24 @@
+"""Table 4: geometric-mean run time and memory of the full analysis
+matrix, plus the paper's headline speedup claims (§5.5)."""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.harness.tables import headline_summary, table4
+
+
+def test_write_table4_and_headline(benchmark, meas, results_dir):
+    text, data = benchmark.pedantic(table4, args=(meas,),
+                                    rounds=1, iterations=1)
+    summary, vals = headline_summary(data)
+    # Shape assertions (paper §5.5): modeled factors must order correctly.
+    time = data["time"]
+    for rel in ("wcp", "dc", "wdc"):
+        assert time[(rel, "unopt")] > time[(rel, "fto")] > time[(rel, "st")]
+        assert vals[rel]["fto_speedup"] > 1.3
+        assert vals[rel]["st_speedup"] > 2.0
+    assert time[("hb", "fto")] < time[("wdc", "st")] < time[("dc", "unopt")]
+    mem = data["memory"]
+    for rel in ("wcp", "dc", "wdc"):
+        assert mem[(rel, "unopt")] > mem[(rel, "st")]
+    write_result(results_dir, "table4.txt", text + "\n" + summary)

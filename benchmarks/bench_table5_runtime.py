@@ -1,0 +1,26 @@
+"""Table 5: per-program run-time factors for the 11-analysis matrix."""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core.registry import MAIN_MATRIX, create
+from repro.harness.tables import table5
+from repro.workloads.dacapo import program_names
+
+
+@pytest.mark.parametrize("program", program_names())
+@pytest.mark.parametrize("analysis", MAIN_MATRIX)
+def test_analysis(benchmark, meas, program, analysis):
+    trace = meas.trace_for(program)
+    report = benchmark.pedantic(
+        lambda: create(analysis, trace).run(), rounds=1, iterations=1)
+    assert report.events_processed == len(trace)
+
+
+def test_write_table5(benchmark, meas, results_dir):
+    text, data = benchmark.pedantic(table5, args=(meas,),
+                                    rounds=1, iterations=1)
+    # h2 and xalan benefit most from the CCS optimizations (paper §5.3):
+    for prog in ("h2", "xalan"):
+        assert data[prog][("dc", "st")] < data[prog][("dc", "fto")] / 2
+    write_result(results_dir, "table5.txt", text)

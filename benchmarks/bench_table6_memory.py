@@ -1,0 +1,16 @@
+"""Table 6: per-program memory factors for the 11-analysis matrix."""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.harness.tables import table6
+from repro.workloads.dacapo import program_names
+
+
+def test_write_table6(benchmark, meas, results_dir):
+    text, data = benchmark.pedantic(table6, args=(meas,),
+                                    rounds=1, iterations=1)
+    for prog in program_names():
+        # predictive metadata costs more than HB's (paper Table 6)
+        assert data[prog][("dc", "unopt")] >= data[prog][("hb", "unopt")]
+    write_result(results_dir, "table6.txt", text)

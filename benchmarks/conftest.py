@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper table/figure has a bench module; measured cells are shared
+through a session-scoped :class:`~repro.harness.measure.Measurements`, and
+each module writes its regenerated table into ``bench_results/``.
+
+Workload scale defaults to 0.5 of the calibrated event budgets; set
+``REPRO_BENCH_SCALE`` (e.g. ``=1.0``) for full-size runs.
+"""
+
+import os
+
+import pytest
+
+from repro.harness.measure import Measurements
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture(scope="session")
+def meas() -> Measurements:
+    return Measurements(scale=bench_scale())
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> str:
+    path = os.path.join(os.path.dirname(__file__), "..", "bench_results")
+    path = os.path.abspath(path)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    with open(os.path.join(results_dir, name), "w") as fp:
+        fp.write(text + "\n")

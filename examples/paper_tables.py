@@ -1,0 +1,20 @@
+#!/usr/bin/env python
+"""Regenerate the paper's headline table (Table 4) at a small scale.
+
+Equivalent to `python -m repro.harness.runner --table 4 --scale 0.3`;
+see benchmarks/ for the full per-table harness.
+"""
+
+from repro.harness.measure import Measurements
+from repro.harness.tables import headline_summary, table4
+
+
+def main():
+    meas = Measurements(scale=0.3)
+    text, data = table4(meas)
+    print(text)
+    print(headline_summary(data)[0])
+
+
+if __name__ == "__main__":
+    main()

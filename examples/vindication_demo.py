@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""Vindication: separating true predictable races from false WDC races.
+
+WDC is the cheapest predictive relation but may report races that cannot
+happen in any reordering (paper Figure 3).  Vindication reconstructs a
+witness execution for true races and refutes false ones, restoring
+soundness (paper §3, §4.3).
+"""
+
+import repro
+from repro.oracle import check_predicted_trace
+from repro.workloads import figure1, figure2, figure3
+
+
+def explain(name, trace, analysis):
+    report = repro.detect_races(trace, analysis)
+    print("{}: {} reports {} dynamic race(s)".format(
+        name, analysis, report.dynamic_count))
+    if not report.races:
+        return
+    result = repro.vindicate_first_race(trace, analysis)
+    print("  vindication verdict: {}".format(result.verdict))
+    if result.vindicated:
+        ok = check_predicted_trace(trace, result.witness,
+                                   require_race_pair=result.pair)
+        print("  witness validates as a predicted trace: {}".format(ok))
+        print("  witness (original-event indices): {}".format(result.witness))
+    print()
+
+
+def main():
+    explain("Figure 1 (true predictable race, HB-ordered)",
+            figure1(), "st-wdc")
+    explain("Figure 2 (true DC race, WCP-ordered)", figure2(), "st-dc")
+    explain("Figure 3 (false WDC race: rule (b) matters)",
+            figure3(), "st-wdc")
+    print("Figure 3's race is refuted: no reordering can make the")
+    print("accesses adjacent, exactly as the paper argues (§3).")
+
+
+if __name__ == "__main__":
+    main()

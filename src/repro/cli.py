@@ -1,0 +1,148 @@
+"""Command-line interface: analyze recorded traces from the shell.
+
+Supports the paper's intended workflow — record once, analyze offline,
+vindicate on demand (§4.3)::
+
+    python -m repro analyze recorded.trace --analysis st-wdc
+    python -m repro analyze recorded.trace -a st-dc -a fto-hb --vindicate
+    python -m repro tables --table 4 --scale 0.5
+    python -m repro generate --program xalan --scale 0.2 -o xalan.trace
+    python -m repro characterize recorded.trace
+
+(Also installed behaviourally as ``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.registry import ANALYSIS_NAMES, create
+from repro.trace.format import dump_trace, load_trace
+from repro.workloads.dacapo import DACAPO_SPECS, dacapo_trace
+from repro.workloads.stats import characterize
+
+
+def _cmd_analyze(args) -> int:
+    trace = load_trace(args.trace)
+    analyses = args.analysis or ["st-wdc"]
+    exit_code = 0
+    for name in analyses:
+        report = create(name, trace).run(
+            sample_every=4096 if args.memory else 0)
+        line = "{:<12} {} static / {} dynamic race(s)".format(
+            name, report.static_count, report.dynamic_count)
+        if args.memory:
+            line += "  [peak metadata {}K]".format(
+                report.peak_footprint_bytes // 1024)
+        print(line)
+        if report.dynamic_count:
+            exit_code = 1
+        for race in report.races[: args.max_races]:
+            print("   event {:>6}  T{}  {} of x{}  ({})".format(
+                race.index, race.tid, race.access, race.var, race.kinds))
+        if report.dynamic_count > args.max_races:
+            print("   ... and {} more".format(
+                report.dynamic_count - args.max_races))
+        if args.vindicate and report.races:
+            from repro.vindication.vindicate import vindicate
+            result = vindicate(trace, report.first_race)
+            print("   vindication of first race: {}".format(result.verdict))
+    return exit_code
+
+
+def _cmd_tables(args) -> int:
+    from repro.harness.runner import main as runner_main
+    forwarded: List[str] = []
+    for number in args.table or []:
+        forwarded += ["--table", str(number)]
+    if args.all:
+        forwarded.append("--all")
+    if args.scale is not None:
+        forwarded += ["--scale", str(args.scale)]
+    if args.out:
+        forwarded += ["--out", args.out]
+    return runner_main(forwarded)
+
+
+def _cmd_generate(args) -> int:
+    trace = dacapo_trace(args.program, scale=args.scale, cache=False)
+    with open(args.output, "w") as fp:
+        dump_trace(trace, fp)
+    print("wrote {} events ({} threads) to {}".format(
+        len(trace), trace.num_threads, args.output))
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    trace = load_trace(args.trace)
+    ch = characterize(trace)
+    print("events:          {}".format(ch.events))
+    print("threads:         {} (peak {})".format(
+        ch.threads_total, ch.threads_peak))
+    print("NSEAs:           {} ({:.1f}% of events)".format(
+        ch.nseas, 100.0 * ch.nseas / max(ch.events, 1)))
+    for depth in (1, 2, 3):
+        print(">= {} lock(s):    {:.2f}% of NSEAs".format(
+            depth, ch.pct_ge(depth)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SmartTrack predictive race detection (PLDI 2020 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="analyze a recorded trace")
+    analyze.add_argument("trace", help="trace file (see repro.trace.format)")
+    analyze.add_argument("-a", "--analysis", action="append",
+                         choices=ANALYSIS_NAMES,
+                         help="analysis name (repeatable; default st-wdc)")
+    analyze.add_argument("--vindicate", action="store_true",
+                         help="vindicate the first reported race")
+    analyze.add_argument("--memory", action="store_true",
+                         help="also report peak metadata footprint")
+    analyze.add_argument("--max-races", type=int, default=10,
+                         help="dynamic races to list per analysis")
+    analyze.set_defaults(func=_cmd_analyze)
+
+    tables = sub.add_parser("tables", help="regenerate the paper's tables")
+    tables.add_argument("--table", type=int, action="append")
+    tables.add_argument("--all", action="store_true")
+    tables.add_argument("--scale", type=float, default=None)
+    tables.add_argument("--out", type=str, default=None)
+    tables.set_defaults(func=_cmd_tables)
+
+    generate = sub.add_parser(
+        "generate", help="generate a DaCapo-analog trace file")
+    generate.add_argument("--program", choices=sorted(DACAPO_SPECS),
+                          required=True)
+    generate.add_argument("--scale", type=float, default=1.0)
+    generate.add_argument("-o", "--output", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    char = sub.add_parser(
+        "characterize", help="Table 2-style characteristics of a trace")
+    char.add_argument("trace")
+    char.set_defaults(func=_cmd_characterize)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro analyze ... | head`
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Logical clocks: vector clocks and epochs.
+
+This subpackage provides the time representations used by every analysis in
+the paper (§2.4, §4.1):
+
+* :class:`~repro.clocks.vector_clock.VectorClock` — a map ``Tid -> Val``
+  with pointwise join (``⊔``) and pointwise comparison (``⊑``).
+* Epochs — scalars ``c@t`` represented as ``(c, t)`` tuples, with the
+  ``e ⪯ C`` ordering check against a vector clock.
+"""
+
+from repro.clocks.epoch import (
+    EPOCH_BOTTOM,
+    clock_of,
+    epoch,
+    epoch_leq,
+    tid_of,
+)
+from repro.clocks.vector_clock import INF, VectorClock
+
+__all__ = [
+    "EPOCH_BOTTOM",
+    "INF",
+    "VectorClock",
+    "clock_of",
+    "epoch",
+    "epoch_leq",
+    "tid_of",
+]

@@ -1,0 +1,51 @@
+"""Epochs: the scalar last-access representation ``c@t`` (paper §4.1).
+
+An epoch pairs an integer clock value ``c`` with the thread ``t`` that
+performed the access.  FastTrack's insight is that a single epoch usually
+suffices to represent the last write (and often the last read) to a
+variable, replacing an O(T) vector clock with an O(1) scalar.
+
+Epochs are represented as ``(c, t)`` tuples.  The uninitialized epoch ``⊥e``
+is :data:`EPOCH_BOTTOM` (``None``), which compares as "ordered before
+everything".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.clocks.vector_clock import VectorClock
+
+Epoch = Tuple[int, int]
+
+#: The uninitialized epoch ``⊥e``.
+EPOCH_BOTTOM: Optional[Epoch] = None
+
+
+def epoch(clock: int, tid: int) -> Epoch:
+    """Build the epoch ``clock@tid``."""
+    return (clock, tid)
+
+
+def clock_of(e: Epoch) -> int:
+    """The clock component ``c`` of ``c@t``."""
+    return e[0]
+
+
+def tid_of(e: Epoch) -> int:
+    """The thread component ``t`` of ``c@t``."""
+    return e[1]
+
+
+def epoch_leq(e: Optional[Epoch], vc: VectorClock, self_tid: int) -> bool:
+    """The ordering check ``e ⪯ C`` of paper §4.1.
+
+    ``c@t ⪯ C`` evaluates ``c ≤ C(t)``.  ``⊥e`` is before everything.
+    The accessing thread's own component auto-passes (``t == self_tid``):
+    same-thread events are program-order ordered and, for WCP, the clock's
+    own component intentionally does not carry the local time (DESIGN.md §4).
+    """
+    if e is None:
+        return True
+    c, t = e
+    return t == self_tid or c <= vc[t]

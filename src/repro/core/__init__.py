@@ -1,0 +1,29 @@
+"""The paper's contribution: the race-detection analysis matrix.
+
+Analyses are organized by optimization tier (paper Table 1):
+
+* ``unopt`` — vector-clock analyses: :mod:`repro.core.hb_vc` (Unopt-HB) and
+  :mod:`repro.core.unopt` (Algorithm 1: Unopt-WCP/DC/WDC, optionally
+  building a constraint graph for vindication).
+* ``epoch`` — :class:`repro.core.fasttrack.FastTrack2` (FT2).
+* ``fto`` — FastTrack-Ownership: :class:`repro.core.fasttrack.FTOHb` and
+  :mod:`repro.core.fto` (Algorithm 2: FTO-WCP/DC/WDC).
+* ``st`` — SmartTrack: :mod:`repro.core.smarttrack` (Algorithm 3:
+  SmartTrack-WCP/DC/WDC).
+
+Use :func:`repro.core.registry.create` (or :func:`repro.detect_races`) to
+instantiate analyses by name.
+"""
+
+from repro.core.base import Analysis, RaceRecord, RaceReport
+from repro.core.registry import ANALYSIS_NAMES, create, relation_of, tier_of
+
+__all__ = [
+    "ANALYSIS_NAMES",
+    "Analysis",
+    "RaceRecord",
+    "RaceReport",
+    "create",
+    "relation_of",
+    "tier_of",
+]

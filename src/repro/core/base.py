@@ -1,0 +1,406 @@
+"""Analysis framework: base classes, race reports, and the event driver.
+
+Every analysis in the matrix (paper Table 1) subclasses
+:class:`VectorClockAnalysis`, which provides:
+
+* per-thread clocks (``C_t``; plus ``H_t`` for WCP, which composes with HB),
+* the local-clock/epoch discipline, including the increment-at-acquire
+  policy for predictive analyses (§5.1),
+* handling of the additional synchronization events (§5.1): thread
+  fork/join, conflicting volatile accesses, and class-initialization edges,
+  which establish order in every analysis,
+* race reporting (one dynamic race per access; distinct sites are the
+  "statically distinct" races of Table 7), and
+* metadata footprint accounting for the memory experiments (Tables 3/4/6).
+
+Relation-specific behaviour is captured by three small hooks
+(`_acquire_compose`, `_release_publish`, `_publish_clock`) so that each
+algorithm (Algorithms 1–3) is written once and instantiated per relation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.clocks.vector_clock import VectorClock
+from repro.trace.event import (
+    ACQUIRE,
+    FORK,
+    JOIN,
+    READ,
+    RELEASE,
+    STATIC_ACCESS,
+    STATIC_INIT,
+    VOLATILE_READ,
+    VOLATILE_WRITE,
+    WRITE,
+    KIND_NAMES,
+)
+from repro.trace.trace import Trace
+
+# Byte-cost model for metadata footprints.  The constants model a
+# shadow-memory implementation like the paper's (RoadRunner attaches
+# metadata objects to variables/locks directly), not CPython dicts: a
+# vector clock is a T-slot array plus a header, an epoch is one word, and
+# a metadata slot costs a couple of words of indirection.
+VC_BYTES_BASE = 24
+VC_BYTES_PER_SLOT = 8
+EPOCH_BYTES = 8
+QUEUE_ENTRY_OVERHEAD = 8
+DICT_ENTRY_BYTES = 16
+CS_ENTRY_BYTES = 32
+
+
+class RaceRecord:
+    """One dynamic race: the access where a check failed (§5.1)."""
+
+    __slots__ = ("index", "site", "var", "tid", "access", "kinds")
+
+    def __init__(self, index: int, site: int, var: int, tid: int,
+                 access: str, kinds: str):
+        self.index = index
+        self.site = site
+        self.var = var
+        self.tid = tid
+        self.access = access  # "read" or "write"
+        self.kinds = kinds  # e.g. "write-read", "write-write+read-write"
+
+    def __repr__(self) -> str:
+        return "RaceRecord(event={}, site={}, var={}, T{}, {}: {})".format(
+            self.index, self.site, self.var, self.tid, self.access, self.kinds)
+
+
+class RaceReport:
+    """The result of running one analysis over one trace.
+
+    ``dynamic_count`` and ``static_count`` follow Table 7's counting: each
+    access detecting one or more races counts as a single dynamic race, and
+    dynamic races at the same program location are one static race.
+    """
+
+    def __init__(self, analysis_name: str, relation: str, tier: str,
+                 races: List[RaceRecord], events_processed: int,
+                 peak_footprint_bytes: int = 0,
+                 case_counts: Optional[Dict[str, int]] = None):
+        self.analysis_name = analysis_name
+        self.relation = relation
+        self.tier = tier
+        self.races = races
+        self.events_processed = events_processed
+        self.peak_footprint_bytes = peak_footprint_bytes
+        self.case_counts = case_counts or {}
+
+    @property
+    def dynamic_count(self) -> int:
+        """Total dynamic races (one per racing access)."""
+        return len(self.races)
+
+    @property
+    def static_count(self) -> int:
+        """Statically distinct races (distinct program locations)."""
+        return len({r.site for r in self.races})
+
+    @property
+    def racy_vars(self) -> Set[int]:
+        """Variables involved in at least one reported race."""
+        return {r.var for r in self.races}
+
+    @property
+    def first_race(self) -> Optional[RaceRecord]:
+        """The earliest dynamic race, or None."""
+        return self.races[0] if self.races else None
+
+    def races_on(self, var: int) -> List[RaceRecord]:
+        """All dynamic races on one variable."""
+        return [r for r in self.races if r.var == var]
+
+    def __repr__(self) -> str:
+        return "RaceReport({}: {} static / {} dynamic races over {} events)".format(
+            self.analysis_name, self.static_count, self.dynamic_count,
+            self.events_processed)
+
+
+class Analysis:
+    """Abstract analysis: per-event handlers driven over a trace."""
+
+    name = "abstract"
+    relation = "?"
+    tier = "?"
+    #: predictive analyses increment the local clock at acquires (§5.1)
+    BUMP_AT_ACQUIRE = False
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+        self.races: List[RaceRecord] = []
+        self._events_processed = 0
+
+    # -- handlers (overridden by concrete analyses) ---------------------
+    def read(self, t: int, x: int, i: int, site: int) -> None:
+        raise NotImplementedError
+
+    def write(self, t: int, x: int, i: int, site: int) -> None:
+        raise NotImplementedError
+
+    def acquire(self, t: int, m: int, i: int, site: int) -> None:
+        raise NotImplementedError
+
+    def release(self, t: int, m: int, i: int, site: int) -> None:
+        raise NotImplementedError
+
+    def fork(self, t: int, u: int, i: int, site: int) -> None:
+        raise NotImplementedError
+
+    def join(self, t: int, u: int, i: int, site: int) -> None:
+        raise NotImplementedError
+
+    def volatile_read(self, t: int, v: int, i: int, site: int) -> None:
+        raise NotImplementedError
+
+    def volatile_write(self, t: int, v: int, i: int, site: int) -> None:
+        raise NotImplementedError
+
+    def static_init(self, t: int, c: int, i: int, site: int) -> None:
+        raise NotImplementedError
+
+    def static_access(self, t: int, c: int, i: int, site: int) -> None:
+        raise NotImplementedError
+
+    # -- driving ----------------------------------------------------------
+    def _handlers(self):
+        table = [None] * 10
+        table[READ] = self.read
+        table[WRITE] = self.write
+        table[ACQUIRE] = self.acquire
+        table[RELEASE] = self.release
+        table[FORK] = self.fork
+        table[JOIN] = self.join
+        table[VOLATILE_READ] = self.volatile_read
+        table[VOLATILE_WRITE] = self.volatile_write
+        table[STATIC_INIT] = self.static_init
+        table[STATIC_ACCESS] = self.static_access
+        return table
+
+    def run(self, sample_every: int = 0) -> RaceReport:
+        """Process the whole trace and return the race report.
+
+        ``sample_every`` > 0 samples the metadata footprint every that many
+        events (plus once at the end) and records the peak.
+        """
+        handlers = self._handlers()
+        events = self.trace.events
+        peak = 0
+        if sample_every > 0:
+            for i, e in enumerate(events):
+                handlers[e.kind](e.tid, e.target, i, e.site)
+                if i % sample_every == 0:
+                    fp = self.footprint_bytes()
+                    if fp > peak:
+                        peak = fp
+        else:
+            for i, e in enumerate(events):
+                handlers[e.kind](e.tid, e.target, i, e.site)
+        fp = self.footprint_bytes()
+        if fp > peak:
+            peak = fp
+        self._events_processed = len(events)
+        return RaceReport(
+            self.name, self.relation, self.tier, self.races,
+            self._events_processed, peak, getattr(self, "case_counts", None))
+
+    # -- race reporting ----------------------------------------------------
+    def _race(self, i: int, site: int, x: int, t: int, access: str,
+              kinds: str) -> None:
+        self.races.append(RaceRecord(i, site, x, t, access, kinds))
+
+    # -- memory -------------------------------------------------------------
+    def footprint_bytes(self) -> int:
+        """Estimated bytes of live analysis metadata (see DESIGN.md §2)."""
+        return 0
+
+
+def _vc_bytes(width: int) -> int:
+    return VC_BYTES_BASE + VC_BYTES_PER_SLOT * width
+
+
+class VectorClockAnalysis(Analysis):
+    """Shared clock infrastructure for every analysis in the matrix.
+
+    Subclasses use:
+
+    * ``self.cc[t]`` — the relation clock ``C_t`` (HB clock for HB
+      analyses, DC/WDC clock for those relations, WCP clock for WCP).
+    * ``self.hh[t]`` — the HB clock ``H_t``; only non-None for WCP, which
+      composes with HB (§2.4).
+    * ``self._time(t)`` / ``self._epoch(t)`` — the thread's local clock
+      (``C_t(t)``, or ``H_t(t)`` for WCP, since WCP does not contain PO).
+    * ``self._bump(t)`` — advance the local clock (ends the thread's epoch).
+    * ``self.held[t]`` — the thread's lock stack (innermost last).
+    """
+
+    #: True for WCP analyses: maintain HB clocks alongside.
+    TRACKS_HB = False
+
+    def __init__(self, trace: Trace):
+        super().__init__(trace)
+        width = max(trace.num_threads, 1)
+        self.width = width
+        self.cc: List[VectorClock] = []
+        for t in range(width):
+            c = VectorClock.zeros(width)
+            if not self.TRACKS_HB:
+                c[t] = 1  # C_t(t) starts at 1 (paper §2.4)
+            self.cc.append(c)
+        if self.TRACKS_HB:
+            self.hh: Optional[List[VectorClock]] = []
+            for t in range(width):
+                h = VectorClock.zeros(width)
+                h[t] = 1
+                self.hh.append(h)
+        else:
+            self.hh = None
+        self.held: List[List[int]] = [[] for _ in range(width)]
+        # lazily populated hard-edge clocks
+        self._vol_w: Dict[int, VectorClock] = {}
+        self._vol_r: Dict[int, VectorClock] = {}
+        self._cls: Dict[int, VectorClock] = {}
+        if self.TRACKS_HB:
+            self._hvol_w: Dict[int, VectorClock] = {}
+            self._hvol_r: Dict[int, VectorClock] = {}
+            self._hcls: Dict[int, VectorClock] = {}
+
+    # -- time -----------------------------------------------------------
+    def _time(self, t: int) -> int:
+        if self.hh is not None:
+            return self.hh[t][t]
+        return self.cc[t][t]
+
+    def _epoch(self, t: int):
+        return (self._time(t), t)
+
+    def _bump(self, t: int) -> None:
+        if self.hh is not None:
+            self.hh[t][t] += 1
+        else:
+            self.cc[t][t] += 1
+
+    def _event_clock(self, t: int) -> VectorClock:
+        """A copy of ``C_t`` that *includes the current event itself*.
+
+        For HB/DC/WDC this is just a copy (the own component is the local
+        clock).  For WCP the own component of ``C_t`` is the thread's true
+        WCP knowledge, so the local clock is patched in; used when
+        publishing hard (fork/volatile/class-init) edges, which order the
+        publishing event itself in every relation (§5.1).
+        """
+        out = self.cc[t].copy()
+        if self.hh is not None:
+            out[t] = self.hh[t][t]
+        return out
+
+    # -- relation hooks (overridden for WCP) -----------------------------
+    def _acquire_compose(self, t: int, m: int) -> None:
+        """Join lock-release knowledge at an acquire (WCP/HB only)."""
+
+    def _release_publish(self, t: int, m: int) -> None:
+        """Publish release-time knowledge at a release (WCP/HB only)."""
+
+    def _publish_clock(self, t: int) -> VectorClock:
+        """The clock stored into rule (a)/(b) metadata at a release.
+
+        DC/WDC store the DC clock; WCP stores the HB clock (WCP composes
+        with HB on the left, so everything HB-before the release becomes
+        WCP-before any event the release gets rule (a)/(b)-ordered to).
+        """
+        if self.hh is not None:
+            return self.hh[t].copy()
+        return self.cc[t].copy()
+
+    # -- hard edges (§5.1) -------------------------------------------------
+    def fork(self, t: int, u: int, i: int, site: int) -> None:
+        self.cc[u].join(self._event_clock(t))
+        if self.hh is not None:
+            self.hh[u].join(self.hh[t])
+        self._bump(t)
+
+    def join(self, t: int, u: int, i: int, site: int) -> None:
+        self.cc[t].join(self._event_clock(u))
+        if self.hh is not None:
+            self.hh[t].join(self.hh[u])
+
+    def volatile_write(self, t: int, v: int, i: int, site: int) -> None:
+        w = self._vol_w.get(v)
+        if w is not None:
+            self.cc[t].join(w)
+        r = self._vol_r.get(v)
+        if r is not None:
+            self.cc[t].join(r)
+        if self.hh is not None:
+            hw = self._hvol_w.get(v)
+            if hw is not None:
+                self.hh[t].join(hw)
+            hr = self._hvol_r.get(v)
+            if hr is not None:
+                self.hh[t].join(hr)
+        ec = self._event_clock(t)
+        if w is None:
+            self._vol_w[v] = ec
+        else:
+            w.join(ec)
+        if self.hh is not None:
+            if v not in self._hvol_w:
+                self._hvol_w[v] = self.hh[t].copy()
+            else:
+                self._hvol_w[v].join(self.hh[t])
+        self._bump(t)
+
+    def volatile_read(self, t: int, v: int, i: int, site: int) -> None:
+        w = self._vol_w.get(v)
+        if w is not None:
+            self.cc[t].join(w)
+        if self.hh is not None:
+            hw = self._hvol_w.get(v)
+            if hw is not None:
+                self.hh[t].join(hw)
+        ec = self._event_clock(t)
+        r = self._vol_r.get(v)
+        if r is None:
+            self._vol_r[v] = ec
+        else:
+            r.join(ec)
+        if self.hh is not None:
+            if v not in self._hvol_r:
+                self._hvol_r[v] = self.hh[t].copy()
+            else:
+                self._hvol_r[v].join(self.hh[t])
+        # A volatile read also *publishes* (it orders before later
+        # conflicting volatile writes), so it ends the thread's epoch.
+        self._bump(t)
+
+    def static_init(self, t: int, c: int, i: int, site: int) -> None:
+        ec = self._event_clock(t)
+        if c not in self._cls:
+            self._cls[c] = ec
+        else:
+            self._cls[c].join(ec)
+        if self.hh is not None:
+            if c not in self._hcls:
+                self._hcls[c] = self.hh[t].copy()
+            else:
+                self._hcls[c].join(self.hh[t])
+        self._bump(t)
+
+    def static_access(self, t: int, c: int, i: int, site: int) -> None:
+        k = self._cls.get(c)
+        if k is not None:
+            self.cc[t].join(k)
+        if self.hh is not None:
+            hk = self._hcls.get(c)
+            if hk is not None:
+                self.hh[t].join(hk)
+
+    # -- memory ------------------------------------------------------------
+    def _base_footprint(self) -> int:
+        vcs = len(self.cc) + len(self._vol_w) + len(self._vol_r) + len(self._cls)
+        if self.hh is not None:
+            vcs += len(self.hh) + len(self._hvol_w) + len(self._hvol_r) + len(self._hcls)
+        return vcs * _vc_bytes(self.width)

@@ -1,0 +1,60 @@
+"""CS lists: SmartTrack's critical-section metadata (paper §4.2).
+
+A CS list represents the logical release times of the critical sections
+active at some access::
+
+    ⟨⟨C1, m1⟩, ..., ⟨Cn, mn⟩⟩
+
+innermost to outermost, where each ``Ci`` is a *reference* to a vector
+clock holding the release time of the critical section on ``mi``.  The
+release time is unknown while the critical section is open, so the clock is
+allocated at the acquire with the owner's component set to ∞ (queries must
+see "not yet ordered") and updated in place at the release — every CS list
+sharing the reference observes the final time (Algorithm 3, lines 3–5 and
+13–15).
+
+Representation: each thread's active list ``H_t`` is a Python list used as
+a stack with the *innermost* critical section last, so the paper's
+tail-to-head (outermost-to-innermost) traversal is plain left-to-right
+iteration.  Snapshots stored in ``L^w_x``/``L^r_x`` are tuples sharing the
+entry objects (and therefore the clock references).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.clocks.vector_clock import INF, VectorClock
+
+CS_ENTRY_BYTES = 32
+
+
+class CSEntry:
+    """One critical section: a shared release-clock reference and its lock."""
+
+    __slots__ = ("clock", "lock")
+
+    def __init__(self, clock: VectorClock, lock: int):
+        self.clock = clock
+        self.lock = lock
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "CSEntry(lock={}, clock={})".format(self.lock, self.clock)
+
+
+def open_entry(width: int, t: int, m: int) -> CSEntry:
+    """Entry for a just-acquired critical section: release time unknown,
+    owner component ∞ (Algorithm 3 lines 3–4)."""
+    clock = VectorClock.zeros(width)
+    clock[t] = INF
+    return CSEntry(clock, m)
+
+
+CSList = Tuple[CSEntry, ...]  # outermost first (tail-to-head order)
+
+EMPTY: CSList = ()
+
+
+def snapshot(stack: List[CSEntry]) -> CSList:
+    """Freeze a thread's active stack into a shareable CS list."""
+    return tuple(stack)

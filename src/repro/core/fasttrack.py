@@ -1,0 +1,199 @@
+"""FastTrack-family HB analyses: FT2 and FTO-HB (paper §2.3, §4.1, Table 1).
+
+* :class:`FastTrack2` ("FT2") — the FastTrack2 algorithm [Flanagan & Freund
+  2017]: write epochs, read epoch-or-vector-clock, same-epoch fast paths.
+  Per §5.1, this implementation (unlike RoadRunner's) updates last-access
+  metadata at races, never stops analyzing a variable, and counts every
+  race.
+* :class:`FTOHb` ("FTO") — the FastTrack-Ownership variant [Wood et al.
+  2017]: adds the owned cases, which skip race checks when the last access
+  is by the current thread, and maintains ``R_x`` as the last reads *and
+  writes*.  SmartTrack builds on FTO's case structure (Algorithm 2/3).
+
+HB analyses increment the local clock only at outgoing synchronization
+(releases, volatile writes, forks), like FastTrack; predictive tiers also
+increment at acquires (§5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.clocks.epoch import epoch_leq
+from repro.clocks.vector_clock import VectorClock
+from repro.core.base import DICT_ENTRY_BYTES, EPOCH_BYTES, VectorClockAnalysis, _vc_bytes
+from repro.trace.trace import Trace
+
+Meta = Union[None, tuple, VectorClock]
+
+
+class _EpochHbBase(VectorClockAnalysis):
+    """Shared lock handling and metadata for FT2/FTO-HB."""
+
+    def __init__(self, trace: Trace):
+        super().__init__(trace)
+        self._lock_clock: Dict[int, VectorClock] = {}
+        self._read: Dict[int, Meta] = {}
+        self._write: Dict[int, Optional[tuple]] = {}
+        self.case_counts: Dict[str, int] = {}
+
+    def _count(self, case: str) -> None:
+        self.case_counts[case] = self.case_counts.get(case, 0) + 1
+
+    def acquire(self, t: int, m: int, i: int, site: int) -> None:
+        clock = self._lock_clock.get(m)
+        if clock is not None:
+            self.cc[t].join(clock)
+        self.held[t].append(m)
+
+    def release(self, t: int, m: int, i: int, site: int) -> None:
+        self._lock_clock[m] = self.cc[t].copy()
+        stack = self.held[t]
+        if stack and stack[-1] == m:
+            stack.pop()
+        else:
+            stack.remove(m)
+        self._bump(t)
+
+    def footprint_bytes(self) -> int:
+        vc = _vc_bytes(self.width)
+        total = self._base_footprint()
+        total += len(self._lock_clock) * (vc + DICT_ENTRY_BYTES)
+        total += len(self._write) * (EPOCH_BYTES + DICT_ENTRY_BYTES)
+        for r in self._read.values():
+            total += DICT_ENTRY_BYTES
+            total += vc if isinstance(r, VectorClock) else EPOCH_BYTES
+        return total
+
+
+class FastTrack2(_EpochHbBase):
+    """The FastTrack2 HB analysis ("FT2" in Table 1)."""
+
+    name = "ft2"
+    relation = "hb"
+    tier = "epoch"
+
+    def read(self, t: int, x: int, i: int, site: int) -> None:
+        cc_t = self.cc[t]
+        time = cc_t[t]
+        r = self._read.get(x)
+        if type(r) is tuple and r[0] == time and r[1] == t:
+            return
+        w = self._write.get(x)
+        if type(r) is VectorClock:
+            if r[t] == time:
+                self._count("read_shared_same_epoch")
+                return
+            if not epoch_leq(w, cc_t, t):
+                self._race(i, site, x, t, "read", "write-read")
+            self._count("read_shared")
+            r[t] = time
+            return
+        if not epoch_leq(w, cc_t, t):
+            self._race(i, site, x, t, "read", "write-read")
+        if r is None or epoch_leq(r, cc_t, t):
+            self._count("read_exclusive")
+            self._read[x] = (time, t)
+        else:
+            self._count("read_share")
+            vc = VectorClock.zeros(self.width)
+            vc[r[1]] = r[0]
+            vc[t] = time
+            self._read[x] = vc
+
+    def write(self, t: int, x: int, i: int, site: int) -> None:
+        cc_t = self.cc[t]
+        time = cc_t[t]
+        w = self._write.get(x)
+        if w is not None and w[0] == time and w[1] == t:
+            return
+        r = self._read.get(x)
+        kinds = []
+        if not epoch_leq(w, cc_t, t):
+            kinds.append("write-write")
+        if type(r) is VectorClock:
+            self._count("write_shared")
+            if not r.leq_except(cc_t, t):
+                kinds.append("read-write")
+            # FastTrack2 [Write Shared] resets the read metadata to bottom.
+            self._read[x] = None
+        else:
+            self._count("write_exclusive")
+            if not epoch_leq(r, cc_t, t):
+                kinds.append("read-write")
+        if kinds:
+            self._race(i, site, x, t, "write", "+".join(kinds))
+        self._write[x] = (time, t)
+
+
+class FTOHb(_EpochHbBase):
+    """FTO-HB: FastTrack with ownership cases ("FTO" in Table 1).
+
+    ``R_x`` tracks the last reads *and writes*; the owned cases ([Read
+    Owned], [Read Shared Owned], [Write Owned]) skip race checks when the
+    last access was by the current thread (Algorithm 2's case structure,
+    restricted to HB).
+    """
+
+    name = "fto-hb"
+    relation = "hb"
+    tier = "fto"
+
+    def read(self, t: int, x: int, i: int, site: int) -> None:
+        cc_t = self.cc[t]
+        time = cc_t[t]
+        r = self._read.get(x)
+        if type(r) is tuple and r[0] == time and r[1] == t:
+            return
+        if type(r) is VectorClock:
+            if r[t] == time:
+                self._count("read_shared_same_epoch")
+                return
+            if r[t] != 0:
+                self._count("read_shared_owned")
+                r[t] = time
+                return
+            self._count("read_shared")
+            if not epoch_leq(self._write.get(x), cc_t, t):
+                self._race(i, site, x, t, "read", "write-read")
+            r[t] = time
+            return
+        if r is None:
+            self._count("read_exclusive")
+            self._read[x] = (time, t)
+            return
+        if r[1] == t:
+            self._count("read_owned")
+            self._read[x] = (time, t)
+            return
+        if epoch_leq(r, cc_t, t):
+            self._count("read_exclusive")
+            self._read[x] = (time, t)
+            return
+        self._count("read_share")
+        if not epoch_leq(self._write.get(x), cc_t, t):
+            self._race(i, site, x, t, "read", "write-read")
+        vc = VectorClock.zeros(self.width)
+        vc[r[1]] = r[0]
+        vc[t] = time
+        self._read[x] = vc
+
+    def write(self, t: int, x: int, i: int, site: int) -> None:
+        cc_t = self.cc[t]
+        time = cc_t[t]
+        w = self._write.get(x)
+        if w is not None and w[0] == time and w[1] == t:
+            return
+        r = self._read.get(x)
+        if type(r) is VectorClock:
+            self._count("write_shared")
+            if not r.leq_except(cc_t, t):
+                self._race(i, site, x, t, "write", "read-write")
+        elif r is None or r[1] == t:
+            self._count("write_owned" if r is not None else "write_exclusive")
+        else:
+            self._count("write_exclusive")
+            if not epoch_leq(r, cc_t, t):
+                self._race(i, site, x, t, "write", "access-write")
+        self._write[x] = (time, t)
+        self._read[x] = (time, t)

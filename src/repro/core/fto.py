@@ -1,0 +1,243 @@
+"""Algorithm 2: FTO-based predictive analyses (FTO-{WCP, DC, WDC}).
+
+Applies FastTrack-Ownership's epoch and ownership optimizations to the
+predictive analyses (paper §4.1):
+
+* ``W_x`` becomes an epoch; ``R_x`` an epoch or vector clock representing
+  the last reads *and writes*.
+* Same-epoch and owned cases skip race checks (and their metadata updates
+  stay O(1)).
+* Conflicting-critical-section (rule (a)) metadata is unchanged from
+  Algorithm 1 — ``L^r_{m,x}`` now covers reads and writes, and ``R_m``
+  covers read and written variables — which is exactly the remaining cost
+  SmartTrack's CCS optimizations then attack (§4.2).
+
+The local clock is incremented at acquires as well as releases to support
+the same-epoch checks (Algorithm 2 line 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple, Union
+
+from repro.clocks.epoch import epoch_leq
+from repro.clocks.vector_clock import VectorClock
+from repro.core.base import (
+    DICT_ENTRY_BYTES,
+    EPOCH_BYTES,
+    VectorClockAnalysis,
+    _vc_bytes,
+)
+from repro.core.rule_b import RuleBQueues
+from repro.core.unopt import _WcpMixin
+from repro.trace.trace import Trace
+
+Meta = Union[None, tuple, VectorClock]
+
+
+class FTOPredictive(VectorClockAnalysis):
+    """Shared implementation of Algorithm 2 (see module docstring)."""
+
+    tier = "fto"
+    BUMP_AT_ACQUIRE = True
+    USES_RULE_B = False
+    EPOCH_ACQ_QUEUES = False
+    #: see UnoptPredictive.SPLIT_L_BY_THREAD (WCP-only precision fix)
+    SPLIT_L_BY_THREAD = False
+
+    def __init__(self, trace: Trace, rule_b_style: str = "log"):
+        super().__init__(trace)
+        self._read: Dict[int, Meta] = {}
+        self._write: Dict[int, Optional[tuple]] = {}
+        self._lr: Dict[Tuple[int, int], VectorClock] = {}
+        self._lw: Dict[Tuple[int, int], VectorClock] = {}
+        self._rm: Dict[int, Set[int]] = {}  # reads and writes (§4.1)
+        self._wm: Dict[int, Set[int]] = {}
+        self._queues: Optional[RuleBQueues] = None
+        if self.USES_RULE_B:
+            self._queues = RuleBQueues(
+                self.width, epoch_acquires=self.EPOCH_ACQ_QUEUES,
+                style=rule_b_style)
+        self.case_counts: Dict[str, int] = {}
+
+    def _count(self, case: str) -> None:
+        self.case_counts[case] = self.case_counts.get(case, 0) + 1
+
+    # -- synchronization (Algorithm 2 lines 1–13) -------------------------
+    def acquire(self, t: int, m: int, i: int, site: int) -> None:
+        self._acquire_compose(t, m)
+        if self._queues is not None:
+            self._queues.on_acquire(t, m, self._time(t), self.cc[t])
+        self.held[t].append(m)
+        self._bump(t)  # supports same-epoch checks (line 3)
+
+    def release(self, t: int, m: int, i: int, site: int) -> None:
+        cc_t = self.cc[t]
+        if self._queues is not None:
+            self._queues.on_release(t, m, cc_t, self._publish_clock(t))
+        publish = self._publish_clock(t)
+        rm = self._rm.get(m)
+        if rm:
+            for x in rm:
+                self._l_update(self._lr, t, m, x, publish)
+            rm.clear()
+        wm = self._wm.get(m)
+        if wm:
+            for x in wm:
+                self._l_update(self._lw, t, m, x, publish)
+            wm.clear()
+        self._release_publish(t, m)
+        stack = self.held[t]
+        if stack and stack[-1] == m:
+            stack.pop()
+        else:
+            stack.remove(m)
+        self._bump(t)
+
+    # -- L^{r,w}_{m,x} maintenance ------------------------------------------
+    def _l_update(self, store, t: int, m: int, x: int,
+                  publish: VectorClock) -> None:
+        """Join this release's time into L (per-thread split for WCP)."""
+        if self.SPLIT_L_BY_THREAD:
+            per_thread = store.get((m, x))
+            if per_thread is None:
+                store[(m, x)] = {t: publish.copy()}
+            else:
+                clock = per_thread.get(t)
+                if clock is None:
+                    per_thread[t] = publish.copy()
+                else:
+                    clock.join(publish)
+            return
+        clock = store.get((m, x))
+        if clock is None:
+            store[(m, x)] = publish.copy()
+        else:
+            clock.join(publish)
+
+    def _l_join(self, store, t: int, m: int, x: int) -> None:
+        """Join prior conflicting critical sections into C_t (rule (a))."""
+        entry = store.get((m, x))
+        if entry is None:
+            return
+        cc_t = self.cc[t]
+        if self.SPLIT_L_BY_THREAD:
+            for u, clock in entry.items():
+                if u != t:
+                    cc_t.join(clock)
+        else:
+            cc_t.join(entry)
+
+    # -- accesses (Algorithm 2 lines 14–44) --------------------------------
+    def write(self, t: int, x: int, i: int, site: int) -> None:
+        cc_t = self.cc[t]
+        time = self._time(t)
+        w = self._write.get(x)
+        if w is not None and w[0] == time and w[1] == t:
+            return  # [Write Same Epoch]
+        for m in self.held[t]:  # rule (a), lines 16–19
+            self._l_join(self._lr, t, m, x)
+            self._l_join(self._lw, t, m, x)
+            self._wm.setdefault(m, set()).add(x)
+            self._rm.setdefault(m, set()).add(x)
+        r = self._read.get(x)
+        if type(r) is VectorClock:
+            self._count("write_shared")
+            if not r.leq_except(cc_t, t):  # [Write Shared]
+                self._race(i, site, x, t, "write", "access-write")
+        elif r is None or r[1] == t:
+            self._count("write_owned" if r is not None else "write_exclusive")
+        else:
+            self._count("write_exclusive")
+            if not epoch_leq(r, cc_t, t):  # [Write Exclusive]
+                self._race(i, site, x, t, "write", "access-write")
+        self._write[x] = (time, t)
+        self._read[x] = (time, t)  # line 25: R_x tracks reads and writes
+
+    def read(self, t: int, x: int, i: int, site: int) -> None:
+        cc_t = self.cc[t]
+        time = self._time(t)
+        r = self._read.get(x)
+        if type(r) is tuple and r[0] == time and r[1] == t:
+            return  # [Read Same Epoch]
+        is_vc = type(r) is VectorClock
+        if is_vc and r[t] == time:
+            return  # [Shared Same Epoch]
+        for m in self.held[t]:  # rule (a), lines 29–31
+            self._l_join(self._lw, t, m, x)
+            self._rm.setdefault(m, set()).add(x)
+        if is_vc:
+            if r[t] != 0:
+                self._count("read_shared_owned")
+                r[t] = time  # [Read Shared Owned]
+                return
+            self._count("read_shared")
+            if not epoch_leq(self._write.get(x), cc_t, t):  # [Read Shared]
+                self._race(i, site, x, t, "read", "write-read")
+            r[t] = time
+            return
+        if r is None:
+            self._count("read_exclusive")
+            self._read[x] = (time, t)
+            return
+        if r[1] == t:
+            self._count("read_owned")
+            self._read[x] = (time, t)  # [Read Owned]
+            return
+        if epoch_leq(r, cc_t, t):
+            self._count("read_exclusive")
+            self._read[x] = (time, t)  # [Read Exclusive]
+            return
+        self._count("read_share")
+        if not epoch_leq(self._write.get(x), cc_t, t):  # [Read Share]
+            self._race(i, site, x, t, "read", "write-read")
+        vc = VectorClock.zeros(self.width)
+        vc[r[1]] = r[0]
+        vc[t] = time
+        self._read[x] = vc
+
+    # -- memory --------------------------------------------------------------
+    def footprint_bytes(self) -> int:
+        vc = _vc_bytes(self.width)
+        total = self._base_footprint()
+        total += len(self._write) * (EPOCH_BYTES + DICT_ENTRY_BYTES)
+        for r in self._read.values():
+            total += DICT_ENTRY_BYTES
+            total += vc if isinstance(r, VectorClock) else EPOCH_BYTES
+        if self.SPLIT_L_BY_THREAD:
+            n_l = sum(len(e) for e in self._lr.values())
+            n_l += sum(len(e) for e in self._lw.values())
+        else:
+            n_l = len(self._lr) + len(self._lw)
+        total += n_l * (vc + DICT_ENTRY_BYTES)
+        for s in self._rm.values():
+            total += DICT_ENTRY_BYTES + 8 * len(s)
+        for s in self._wm.values():
+            total += DICT_ENTRY_BYTES + 8 * len(s)
+        if self._queues is not None:
+            total += self._queues.footprint_bytes()
+        return total
+
+
+class FTOWCP(_WcpMixin, FTOPredictive):
+    """FTO-WCP (Table 1)."""
+
+    name = "fto-wcp"
+    USES_RULE_B = True
+    EPOCH_ACQ_QUEUES = True
+
+
+class FTODC(FTOPredictive):
+    """FTO-DC: Algorithm 2 as printed (Table 1)."""
+
+    name = "fto-dc"
+    relation = "dc"
+    USES_RULE_B = True
+
+
+class FTOWDC(FTOPredictive):
+    """FTO-WDC: Algorithm 2 minus rule (b) (§3, §4.1)."""
+
+    name = "fto-wdc"
+    relation = "wdc"
+    USES_RULE_B = False

@@ -1,0 +1,89 @@
+"""Analysis registry: every configuration of paper Table 1 by name.
+
+Names follow ``<tier>-<relation>``::
+
+    unopt-hb   ft2        fto-hb
+    unopt-wcp             fto-wcp   st-wcp
+    unopt-dc   unopt-dc-g fto-dc    st-dc
+    unopt-wdc  unopt-wdc-g fto-wdc  st-wdc
+
+The ``-g`` suffix builds a constraint graph for vindication (Table 3's
+"w/ G" columns).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.base import Analysis
+from repro.core.fasttrack import FastTrack2, FTOHb
+from repro.core.fto import FTODC, FTOWCP, FTOWDC
+from repro.core.hb_vc import UnoptHB
+from repro.core.smarttrack import SmartTrackDC, SmartTrackWCP, SmartTrackWDC
+from repro.core.unopt import UnoptDC, UnoptWCP, UnoptWDC
+from repro.trace.trace import Trace
+
+_FACTORIES: Dict[str, Callable[[Trace], Analysis]] = {
+    "unopt-hb": UnoptHB,
+    "ft2": FastTrack2,
+    "fto-hb": FTOHb,
+    "unopt-wcp": UnoptWCP,
+    "unopt-dc": UnoptDC,
+    "unopt-wdc": UnoptWDC,
+    "unopt-dc-g": lambda trace: UnoptDC(trace, build_graph=True),
+    "unopt-wdc-g": lambda trace: UnoptWDC(trace, build_graph=True),
+    "fto-wcp": FTOWCP,
+    "fto-dc": FTODC,
+    "fto-wdc": FTOWDC,
+    "st-wcp": SmartTrackWCP,
+    "st-dc": SmartTrackDC,
+    "st-wdc": SmartTrackWDC,
+}
+
+#: All registry names, in Table 1 order.
+ANALYSIS_NAMES: List[str] = list(_FACTORIES)
+
+#: The eleven analyses of the paper's main results (Tables 4–7).
+MAIN_MATRIX: List[str] = [
+    "unopt-hb", "fto-hb",
+    "unopt-wcp", "fto-wcp", "st-wcp",
+    "unopt-dc", "fto-dc", "st-dc",
+    "unopt-wdc", "fto-wdc", "st-wdc",
+]
+
+#: Analyses per relation, in increasing optimization order.
+BY_RELATION: Dict[str, List[str]] = {
+    "hb": ["unopt-hb", "ft2", "fto-hb"],
+    "wcp": ["unopt-wcp", "fto-wcp", "st-wcp"],
+    "dc": ["unopt-dc", "fto-dc", "st-dc"],
+    "wdc": ["unopt-wdc", "fto-wdc", "st-wdc"],
+}
+
+
+def create(name: str, trace: Trace) -> Analysis:
+    """Instantiate the named analysis for one trace."""
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            "unknown analysis {!r}; choose from {}".format(
+                name, ", ".join(ANALYSIS_NAMES)))
+    return factory(trace)
+
+
+def relation_of(name: str) -> str:
+    """The relation ("hb"/"wcp"/"dc"/"wdc") an analysis computes."""
+    probe = _FACTORIES[name]
+    if name.endswith("-g"):
+        return relation_of(name[:-2])
+    return probe.relation if hasattr(probe, "relation") else "dc"
+
+
+def tier_of(name: str) -> str:
+    """The optimization tier ("unopt"/"epoch"/"fto"/"st")."""
+    if name.startswith("unopt"):
+        return "unopt"
+    if name == "ft2":
+        return "epoch"
+    if name.startswith("fto"):
+        return "fto"
+    return "st"

@@ -1,0 +1,236 @@
+"""Rule (b) queue machinery (Algorithms 1–3, Acquire/Release).
+
+DC/WCP rule (b) orders release events of two critical sections on the same
+lock when the earlier critical section's acquire is ordered before the
+later release.  The analyses detect this with the aligned queues of the
+paper's algorithms:
+
+* ``Acq_{m,t}(t')`` — times of acquires of ``m`` by ``t'`` not yet known to
+  be ordered before a release of ``m`` by ``t``;
+* ``Rel_{m,t}(t')`` — the corresponding release times.
+
+At ``rel(m)`` by ``t``, while the front acquire of some ``t'`` is ordered
+before ``C_t``, the matching release time is joined into ``C_t``.
+
+Entry representation is the tier's key cost lever (paper §4.2 "Optimizing
+Acq"): Unopt/FTO DC enqueue full vector clocks and compare with ``⊑``;
+SmartTrack (and all WCP tiers, cf. footnote 6) enqueue epochs and compare
+with ``⪯``.
+
+Two storage realizations are provided:
+
+* ``style="log"`` (default): per (lock, producer) append-only logs of
+  (acquire time, release time) with a per-(lock, consumer, producer)
+  cursor.  Semantically identical to the per-pair queues — a consumer's
+  cursor position *is* its queue front — but an acquire costs O(1) instead
+  of fan-out to T−1 queues, which matters under Python's constant factors.
+  Fully-consumed prefixes are compacted away.
+* ``style="pairwise"``: the published formulation (enqueue into T−1 queues
+  per acquire).  Kept for the ablation benchmark
+  (``benchmarks/bench_ablations.py``) that measures what the restructuring
+  is worth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.clocks.epoch import epoch_leq
+from repro.clocks.vector_clock import VectorClock
+from repro.core.base import EPOCH_BYTES, QUEUE_ENTRY_OVERHEAD, VC_BYTES_BASE, VC_BYTES_PER_SLOT
+
+_COMPACT_EVERY = 128
+
+
+class _LockLog:
+    """Per-(lock, producer) acquire/release history with consumer cursors."""
+
+    __slots__ = ("acqs", "rels", "cursors", "base")
+
+    def __init__(self):
+        self.acqs: List = []
+        self.rels: List = []
+        self.cursors: Dict[int, int] = {}  # consumer -> absolute position
+        self.base = 0  # absolute position of acqs[0] after compaction
+
+    def compact(self, potential_consumers: int) -> None:
+        """Drop the prefix every consumer has already processed.
+
+        Only safe once every potential consumer has a cursor — a thread
+        that first releases this lock later must still see the full
+        history (its virtual queue starts at position 0).
+        """
+        if len(self.cursors) < potential_consumers:
+            return
+        low = min(self.cursors.values())
+        drop = low - self.base
+        if drop <= 0:
+            return
+        del self.acqs[:drop]
+        del self.rels[:drop]
+        self.base = low
+
+
+class RuleBQueues:
+    """Rule (b) acquire/release queues (see module docstring)."""
+
+    def __init__(self, width: int, epoch_acquires: bool,
+                 track_graph: bool = False, style: str = "log"):
+        self.width = width
+        self.epoch_acquires = epoch_acquires
+        self.track_graph = track_graph
+        self.style = style
+        # log style: (lock, producer) -> _LockLog
+        self._logs: Dict[Tuple[int, int], _LockLog] = {}
+        self._producers: Dict[int, List[int]] = {}  # lock -> producer tids
+        # pairwise style: (lock, consumer, producer) -> deque
+        self._acq: Dict[Tuple[int, int, int], Deque] = {}
+        self._rel: Dict[Tuple[int, int, int], Deque] = {}
+        self._acq_entries = 0
+        self._rel_entries = 0
+
+    # ------------------------------------------------------------------
+    def on_acquire(self, t: int, m: int, time: int, vc: VectorClock) -> None:
+        """Record ``acq(m)`` by ``t`` (Algorithm 1 line 2).
+
+        ``time`` is the thread's local clock; ``vc`` its current clock
+        (copied once; vector-clock entries are shared between queues).
+        """
+        entry = (time, t) if self.epoch_acquires else vc.copy()
+        if self.style == "log":
+            log = self._logs.get((m, t))
+            if log is None:
+                log = _LockLog()
+                self._logs[(m, t)] = log
+                self._producers.setdefault(m, []).append(t)
+            log.acqs.append(entry)
+            self._acq_entries += 1
+            return
+        for consumer in range(self.width):
+            if consumer == t:
+                continue
+            q = self._acq.get((m, consumer, t))
+            if q is None:
+                q = deque()
+                self._acq[(m, consumer, t)] = q
+            q.append(entry)
+            self._acq_entries += 1
+
+    # ------------------------------------------------------------------
+    def on_release(self, t: int, m: int, cc_t: VectorClock,
+                   publish: VectorClock, eid: int = -1,
+                   graph=None) -> None:
+        """Process rule (b) at ``rel(m)`` by ``t`` (Algorithm 1 lines 4–8):
+        join ordered predecessors' release times into ``cc_t`` and record
+        this release for the other threads."""
+        if self.style == "log":
+            self._release_log(t, m, cc_t, publish, eid, graph)
+        else:
+            self._release_pairwise(t, m, cc_t, publish, eid, graph)
+
+    def _release_log(self, t, m, cc_t, publish, eid, graph):
+        producers = self._producers.get(m)
+        if producers is not None:
+            for producer in producers:
+                if producer == t:
+                    continue
+                log = self._logs[(m, producer)]
+                pos = log.cursors.get(t, log.base)
+                acqs = log.acqs
+                rels = log.rels
+                base = log.base
+                # only entries whose release completed are matchable (the
+                # producer cannot hold m while the consumer releases it)
+                n = min(len(acqs), len(rels)) + base
+                if self.epoch_acquires:
+                    while pos < n and epoch_leq(acqs[pos - base], cc_t, t):
+                        self._join_release(cc_t, rels[pos - base], eid, graph)
+                        pos += 1
+                else:
+                    while pos < n and acqs[pos - base].leq(cc_t):
+                        self._join_release(cc_t, rels[pos - base], eid, graph)
+                        pos += 1
+                log.cursors[t] = pos
+        # Record this release: producers' own log (consumers cursor past it).
+        log = self._logs.get((m, t))
+        if log is None:
+            # A well-formed trace always acquires before releasing, so the
+            # log exists already; this is defensive initialization only.
+            log = _LockLog()
+            self._logs[(m, t)] = log
+            self._producers.setdefault(m, []).append(t)
+        entry = (publish, eid) if self.track_graph else publish
+        log.rels.append(entry)
+        self._rel_entries += 1
+        if len(log.rels) % _COMPACT_EVERY == 0:
+            before = len(log.acqs)
+            log.compact(potential_consumers=self.width - 1)
+            freed = before - len(log.acqs)
+            self._acq_entries -= freed
+            self._rel_entries -= freed
+
+    def _release_pairwise(self, t, m, cc_t, publish, eid, graph):
+        for producer in range(self.width):
+            if producer == t:
+                continue
+            qa = self._acq.get((m, t, producer))
+            if not qa:
+                continue
+            qr = self._rel.get((m, t, producer))
+            if self.epoch_acquires:
+                while qa and epoch_leq(qa[0], cc_t, t):
+                    qa.popleft()
+                    self._acq_entries -= 1
+                    self._join_release(cc_t, qr.popleft(), eid, graph)
+                    self._rel_entries -= 1
+            else:
+                while qa and qa[0].leq(cc_t):
+                    qa.popleft()
+                    self._acq_entries -= 1
+                    self._join_release(cc_t, qr.popleft(), eid, graph)
+                    self._rel_entries -= 1
+        entry = (publish, eid) if self.track_graph else publish
+        for consumer in range(self.width):
+            if consumer == t:
+                continue
+            q = self._rel.get((m, consumer, t))
+            if q is None:
+                q = deque()
+                self._rel[(m, consumer, t)] = q
+            q.append(entry)
+            self._rel_entries += 1
+
+    @staticmethod
+    def _join_release(cc_t: VectorClock, rel_entry, eid: int, graph) -> None:
+        if type(rel_entry) is tuple:
+            clock, src_eid = rel_entry
+            cc_t.join(clock)
+            if graph is not None and eid >= 0:
+                graph.add_edge(src_eid, eid, "rule-b")
+        else:
+            cc_t.join(rel_entry)
+
+    # ------------------------------------------------------------------
+    def footprint_bytes(self) -> int:
+        """Approximate bytes held by live queue entries.
+
+        In the pairwise realization acquire/release clocks are shared
+        across the per-thread queues, so entries are charged one queue slot
+        plus their share of the clock; in the log realization each entry is
+        stored once.
+        """
+        vc_bytes = VC_BYTES_BASE + VC_BYTES_PER_SLOT * self.width
+        if self.style == "log":
+            acq_entry = QUEUE_ENTRY_OVERHEAD + (
+                EPOCH_BYTES if self.epoch_acquires else vc_bytes)
+            rel_entry = QUEUE_ENTRY_OVERHEAD + vc_bytes
+            return (self._acq_entries * acq_entry
+                    + self._rel_entries * rel_entry)
+        fan_out = max(self.width - 1, 1)
+        if self.epoch_acquires:
+            acq_entry = QUEUE_ENTRY_OVERHEAD + EPOCH_BYTES
+        else:
+            acq_entry = QUEUE_ENTRY_OVERHEAD + vc_bytes // fan_out
+        rel_entry = QUEUE_ENTRY_OVERHEAD + vc_bytes // fan_out
+        return self._acq_entries * acq_entry + self._rel_entries * rel_entry

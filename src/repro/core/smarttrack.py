@@ -1,0 +1,344 @@
+"""Algorithm 3: SmartTrack-{WCP, DC, WDC} (paper §4.2).
+
+SmartTrack extends FTO (Algorithm 2) with the conflicting-critical-section
+(CCS) optimizations — the paper's central contribution:
+
+* Per-variable CS lists ``L^w_x``/``L^r_x`` mirror the last-access epochs
+  ``W_x``/``R_x``, replacing the per-(lock, variable) clocks
+  ``L^{r,w}_{m,x}`` and the per-critical-section sets ``R_m``/``W_m``.
+* Release times are published *by reference* through each thread's active
+  CS list ``H_t``, deferring the update to the release (∞ until then).
+* ``MultiCheck`` fuses the CCS detection with the race check, traversing a
+  CS list outermost-to-innermost and stopping at the first critical
+  section that is already ordered to the current access or that conflicts
+  with a held lock.
+* "Extra" metadata ``E^r_x``/``E^w_x`` preserves residual critical
+  sections that writes would otherwise overwrite (Figures 4(c)/(d)).
+* Rule (b) acquire queues hold epochs instead of vector clocks.
+
+Deviations from the preprint listing (see DESIGN.md §4): ``MultiCheck``
+calls over ``L^w_x`` pass the last *writer's* thread id, and the clearing
+loop of the extra metadata at writes nests inside the held-locks loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.clocks.epoch import epoch_leq
+from repro.clocks.vector_clock import INF, VectorClock
+from repro.core.base import (
+    DICT_ENTRY_BYTES,
+    EPOCH_BYTES,
+    VectorClockAnalysis,
+    _vc_bytes,
+)
+from repro.core.cslist import CS_ENTRY_BYTES, CSEntry, CSList, EMPTY, open_entry
+from repro.core.rule_b import RuleBQueues
+from repro.core.unopt import _WcpMixin
+from repro.trace.trace import Trace
+
+Meta = Union[None, tuple, VectorClock]
+#: L^r_x is a CS list while R_x is an epoch, or a per-thread dict of CS
+#: lists while R_x is a vector clock.
+ReadCS = Union[CSList, Dict[int, CSList]]
+
+
+class SmartTrack(VectorClockAnalysis):
+    """Shared implementation of Algorithm 3 (see module docstring)."""
+
+    tier = "st"
+    BUMP_AT_ACQUIRE = True
+    USES_RULE_B = False
+
+    def __init__(self, trace: Trace, rule_b_style: str = "log"):
+        super().__init__(trace)
+        self._read: Dict[int, Meta] = {}
+        self._write: Dict[int, Optional[tuple]] = {}
+        self._lw: Dict[int, CSList] = {}
+        self._lr: Dict[int, ReadCS] = {}
+        # E^r_x / E^w_x: var -> thread -> lock -> release-clock reference
+        self._er: Dict[int, Dict[int, Dict[int, VectorClock]]] = {}
+        self._ew: Dict[int, Dict[int, Dict[int, VectorClock]]] = {}
+        # H_t: active critical sections, innermost last
+        self._stack: List[List[CSEntry]] = [[] for _ in range(self.width)]
+        self._queues: Optional[RuleBQueues] = None
+        if self.USES_RULE_B:
+            self._queues = RuleBQueues(self.width, epoch_acquires=True,
+                                       style=rule_b_style)
+        self.case_counts: Dict[str, int] = {}
+
+    def _count(self, case: str) -> None:
+        self.case_counts[case] = self.case_counts.get(case, 0) + 1
+
+    # -- synchronization (Algorithm 3 lines 1–16) --------------------------
+    def acquire(self, t: int, m: int, i: int, site: int) -> None:
+        self._acquire_compose(t, m)
+        if self._queues is not None:
+            self._queues.on_acquire(t, m, self._time(t), self.cc[t])
+        self._stack[t].append(open_entry(self.width, t, m))
+        self.held[t].append(m)
+        self._bump(t)
+
+    def release(self, t: int, m: int, i: int, site: int) -> None:
+        cc_t = self.cc[t]
+        if self._queues is not None:
+            self._queues.on_release(t, m, cc_t, self._publish_clock(t))
+        stack = self._stack[t]
+        if stack and stack[-1].lock == m:
+            entry = stack.pop()
+        else:  # non-LIFO unlock order
+            pos = next(k for k in range(len(stack) - 1, -1, -1)
+                       if stack[k].lock == m)
+            entry = stack.pop(pos)
+        entry.clock.assign(self._publish_clock(t))  # lines 13–14
+        self._release_publish(t, m)
+        held = self.held[t]
+        if held and held[-1] == m:
+            held.pop()
+        else:
+            held.remove(m)
+        self._bump(t)
+
+    # -- MultiCheck (Algorithm 3 lines 26–35) --------------------------------
+    def _multicheck(self, t: int, cs_list: CSList, u: int,
+                    check: Optional[tuple]) -> Tuple[Optional[Dict[int, VectorClock]], bool]:
+        """Fused CCS/race check over one CS list.
+
+        Traverses outermost-to-innermost.  A critical section whose release
+        is already ordered before the current access — or whose lock the
+        current thread holds (a conflicting critical section, whose release
+        time is then joined) — subsumes the inner entries and the race
+        check.  Unordered, unheld critical sections accumulate in the
+        residual map ``E`` for the extra metadata.
+
+        Returns ``(E or None, race_check_failed)``.
+        """
+        cc_t = self.cc[t]
+        held = self.held[t]
+        residual: Optional[Dict[int, VectorClock]] = None
+        for entry in cs_list:
+            clock = entry.clock
+            if clock[u] <= cc_t[u]:
+                return residual, False  # ordered: subsumes the rest
+            if entry.lock in held:
+                cc_t.join(clock)  # conflicting critical sections: rule (a)
+                return residual, False
+            if residual is None:
+                residual = {}
+            residual[entry.lock] = clock
+        raced = not epoch_leq(check, cc_t, t)
+        return residual, raced
+
+    # -- writes (Algorithm 3 Write) -------------------------------------------
+    def write(self, t: int, x: int, i: int, site: int) -> None:
+        cc_t = self.cc[t]
+        time = self._time(t)
+        w = self._write.get(x)
+        if w is not None and w[0] == time and w[1] == t:
+            return  # [Write Same Epoch]
+        er = self._er.get(x)
+        if er:  # lines 19–23: absorb and clear extra metadata
+            ew = self._ew.get(x)
+            for m in self.held[t]:
+                for u in list(er):
+                    if u == t:
+                        continue
+                    locks = er[u]
+                    clock = locks.pop(m, None)
+                    if clock is not None:
+                        cc_t.join(clock)
+                    if not locks:
+                        del er[u]
+                if ew:
+                    for u in list(ew):
+                        if u == t:
+                            continue
+                        locks = ew[u]
+                        locks.pop(m, None)
+                        if not locks:
+                            del ew[u]
+            er.pop(t, None)
+            if ew is not None:
+                ew.pop(t, None)
+            if not er:
+                self._er.pop(x, None)
+            if ew is not None and not ew:
+                self._ew.pop(x, None)
+        r = self._read.get(x)
+        if type(r) is VectorClock:  # [Write Shared], lines 30–35
+            self._count("write_shared")
+            lr = self._lr.get(x)
+            w_tid = w[1] if w is not None else -1
+            raced = False
+            for u in range(self.width):
+                ru = r[u]
+                if u == t or ru == 0:
+                    continue
+                cs_u = lr.get(u, EMPTY) if isinstance(lr, dict) else EMPTY
+                residual, bad = self._multicheck(t, cs_u, u, (ru, u))
+                raced = raced or bad
+                if residual:
+                    self._er.setdefault(x, {})[u] = residual
+                    if u == w_tid:
+                        w_res, _ = self._multicheck(
+                            t, self._lw.get(x, EMPTY), u, None)
+                        if w_res:
+                            self._ew.setdefault(x, {})[u] = w_res
+            if raced:
+                self._race(i, site, x, t, "write", "access-write")
+        elif r is None or r[1] == t:  # [Write Owned]
+            self._count("write_owned" if r is not None else "write_exclusive")
+        else:  # [Write Exclusive], lines 25–29
+            self._count("write_exclusive")
+            u = r[1]
+            residual, raced = self._multicheck(
+                t, self._lr.get(x, EMPTY), u, r)
+            if residual:
+                self._er.setdefault(x, {})[u] = residual
+                w_tid = w[1] if w is not None else -1
+                if w_tid >= 0:
+                    w_res, _ = self._multicheck(
+                        t, self._lw.get(x, EMPTY), w_tid, None)
+                    if w_res:
+                        self._ew.setdefault(x, {})[w_tid] = w_res
+            if raced:
+                self._race(i, site, x, t, "write", "access-write")
+        snap = tuple(self._stack[t])  # line 36
+        self._lw[x] = snap
+        self._lr[x] = snap
+        self._write[x] = (time, t)  # line 37
+        self._read[x] = (time, t)
+
+    # -- reads (Algorithm 3 Read) ----------------------------------------------
+    def read(self, t: int, x: int, i: int, site: int) -> None:
+        cc_t = self.cc[t]
+        time = self._time(t)
+        r = self._read.get(x)
+        if type(r) is tuple and r[0] == time and r[1] == t:
+            return  # [Read Same Epoch]
+        is_vc = type(r) is VectorClock
+        if is_vc and r[t] == time:
+            return  # [Shared Same Epoch]
+        ew = self._ew.get(x)
+        if ew:  # lines 4–6: reads absorb (but keep) residual write CSs
+            for m in self.held[t]:
+                for u, locks in ew.items():
+                    if u == t:
+                        continue
+                    clock = locks.get(m)
+                    if clock is not None:
+                        cc_t.join(clock)
+        w = self._write.get(x)
+        if is_vc:
+            if r[t] != 0:  # [Read Shared Owned], lines 19–21
+                self._count("read_shared_owned")
+                self._lr_set_thread(x, t)
+                r[t] = time
+                return
+            self._count("read_shared")  # [Read Shared], lines 22–25
+            residual, raced = self._multicheck(
+                t, self._lw.get(x, EMPTY), w[1] if w else -1, w)
+            if residual and w is not None:
+                # Deviation (DESIGN.md §4): keep the residual write CSs in
+                # E^w_x so later owned-case reads inside critical sections
+                # still absorb the rule (a) ordering.
+                self._ew.setdefault(x, {})[w[1]] = residual
+            if raced:
+                self._race(i, site, x, t, "read", "write-read")
+            self._lr_set_thread(x, t)
+            r[t] = time
+            return
+        if r is None:  # first access: trivial [Read Exclusive]
+            self._count("read_exclusive")
+            self._lr[x] = tuple(self._stack[t])
+            self._read[x] = (time, t)
+            return
+        if r[1] == t:  # [Read Owned], lines 7–9
+            self._count("read_owned")
+            self._lr[x] = tuple(self._stack[t])
+            self._read[x] = (time, t)
+            return
+        u = r[1]
+        lr = self._lr.get(x, EMPTY)
+        # lines 10–11: the last access's *outermost* release time decides
+        # between [Read Exclusive] and [Read Share]
+        if lr:
+            outer = lr[0].clock
+            ordered = outer[u] <= cc_t[u]
+        else:
+            ordered = epoch_leq(r, cc_t, t)
+        if ordered:  # [Read Exclusive], lines 12–14
+            self._count("read_exclusive")
+            self._lr[x] = tuple(self._stack[t])
+            self._read[x] = (time, t)
+            return
+        self._count("read_share")  # [Read Share], lines 15–18
+        residual, raced = self._multicheck(
+            t, self._lw.get(x, EMPTY), w[1] if w else -1, w)
+        if residual and w is not None:
+            # Deviation (DESIGN.md §4): see [Read Shared] above.
+            self._ew.setdefault(x, {})[w[1]] = residual
+        if raced:
+            self._race(i, site, x, t, "read", "write-read")
+        self._lr[x] = {u: lr, t: tuple(self._stack[t])}
+        vc = VectorClock.zeros(self.width)
+        vc[u] = r[0]
+        vc[t] = time
+        self._read[x] = vc
+
+    def _lr_set_thread(self, x: int, t: int) -> None:
+        lr = self._lr.get(x)
+        if not isinstance(lr, dict):
+            lr = {} if lr is None else {}
+            self._lr[x] = lr
+        lr[t] = tuple(self._stack[t])
+
+    # -- memory -------------------------------------------------------------
+    def footprint_bytes(self) -> int:
+        vc = _vc_bytes(self.width)
+        total = self._base_footprint()
+        total += len(self._write) * (EPOCH_BYTES + DICT_ENTRY_BYTES)
+        for r in self._read.values():
+            total += DICT_ENTRY_BYTES
+            total += vc if isinstance(r, VectorClock) else EPOCH_BYTES
+        for cs in self._lw.values():
+            total += DICT_ENTRY_BYTES + len(cs) * 8  # entries shared
+        for lr in self._lr.values():
+            if isinstance(lr, dict):
+                for cs in lr.values():
+                    total += DICT_ENTRY_BYTES + len(cs) * 8
+            else:
+                total += DICT_ENTRY_BYTES + len(lr) * 8
+        for emap in (self._er, self._ew):
+            for per_thread in emap.values():
+                for locks in per_thread.values():
+                    total += DICT_ENTRY_BYTES + len(locks) * 16
+        for stack in self._stack:
+            total += len(stack) * (CS_ENTRY_BYTES + vc)
+        if self._queues is not None:
+            total += self._queues.footprint_bytes()
+        return total
+
+
+class SmartTrackWCP(_WcpMixin, SmartTrack):
+    """SmartTrack-WCP (Table 1)."""
+
+    name = "st-wcp"
+    USES_RULE_B = True
+
+
+class SmartTrackDC(SmartTrack):
+    """SmartTrack-DC: Algorithm 3 as printed (Table 1)."""
+
+    name = "st-dc"
+    relation = "dc"
+    USES_RULE_B = True
+
+
+class SmartTrackWDC(SmartTrack):
+    """SmartTrack-WDC: Algorithm 3 minus rule (b) (§3, §4.2)."""
+
+    name = "st-wdc"
+    relation = "wdc"
+    USES_RULE_B = False

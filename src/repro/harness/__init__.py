@@ -1,0 +1,16 @@
+"""Experiment harness: timing/memory measurement, statistics, and builders
+that regenerate every table of the paper's evaluation (Tables 2–7 and the
+appendix Tables 8–12).  See DESIGN.md §5 for the experiment index.
+"""
+
+from repro.harness.measure import MeasureResult, Measurements, uninstrumented_time
+from repro.harness.stats import confidence_interval, geomean, mean
+
+__all__ = [
+    "MeasureResult",
+    "Measurements",
+    "confidence_interval",
+    "geomean",
+    "mean",
+    "uninstrumented_time",
+]

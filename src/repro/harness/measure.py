@@ -1,0 +1,130 @@
+"""Measurement machinery: wall-clock slowdowns and memory-usage factors.
+
+The paper reports run time and memory *relative to uninstrumented
+execution* (§5.2).  Our uninstrumented baseline is a bare walk over the
+trace (the event stream with no analysis attached); memory is the peak
+analysis-metadata footprint relative to the raw trace's storage (see
+DESIGN.md §2 for why Python RSS is not meaningful here).
+
+:class:`Measurements` memoizes (program, analysis) results so the table
+builders (Tables 3–7 share the same underlying runs) measure each cell
+once per process.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import RaceReport
+from repro.core.registry import create
+from repro.trace.trace import Trace
+from repro.workloads.dacapo import dacapo_trace
+
+
+class MeasureResult:
+    """One (program, analysis) measurement."""
+
+    def __init__(self, program: str, analysis: str, events: int,
+                 seconds: float, baseline_seconds: float,
+                 peak_bytes: int, trace_bytes: int, report: RaceReport):
+        self.program = program
+        self.analysis = analysis
+        self.events = events
+        self.seconds = seconds
+        self.baseline_seconds = baseline_seconds
+        self.peak_bytes = peak_bytes
+        self.trace_bytes = trace_bytes
+        self.report = report
+
+    @property
+    def slowdown(self) -> float:
+        """Run time relative to uninstrumented execution."""
+        if self.baseline_seconds <= 0:
+            return 0.0
+        return self.seconds / self.baseline_seconds
+
+    @property
+    def memory_factor(self) -> float:
+        """Memory relative to uninstrumented execution (the modeled live
+        heap of the program itself; see Trace.program_state_bytes)."""
+        if self.trace_bytes <= 0:
+            return 0.0
+        return (self.trace_bytes + self.peak_bytes) / self.trace_bytes
+
+    def __repr__(self) -> str:
+        return "MeasureResult({} on {}: {:.1f}x time, {:.1f}x mem)".format(
+            self.analysis, self.program, self.slowdown, self.memory_factor)
+
+
+def uninstrumented_time(trace: Trace, repeats: int = 3) -> float:
+    """Baseline: the best of ``repeats`` bare walks over the event stream."""
+    events = trace.events
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        n = 0
+        for e in events:
+            if e.kind >= 0:  # touch the event like an uninstrumented run
+                n += 1
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best = dt
+    return max(best, 1e-9)
+
+
+def measure_once(trace: Trace, analysis_name: str, program: str = "",
+                 baseline: Optional[float] = None,
+                 sample_every: int = 4096) -> MeasureResult:
+    """Run one analysis over one trace, timing it against the baseline."""
+    if baseline is None:
+        baseline = uninstrumented_time(trace)
+    analysis = create(analysis_name, trace)
+    t0 = time.perf_counter()
+    report = analysis.run(sample_every=sample_every)
+    seconds = time.perf_counter() - t0
+    return MeasureResult(
+        program=program, analysis=analysis_name, events=len(trace),
+        seconds=seconds, baseline_seconds=baseline,
+        peak_bytes=report.peak_footprint_bytes,
+        trace_bytes=trace.program_state_bytes(), report=report)
+
+
+class Measurements:
+    """Memoized measurement matrix over the DaCapo-analog programs."""
+
+    def __init__(self, scale: Optional[float] = None, trials: int = 1):
+        self.scale = scale
+        self.trials = trials
+        self._results: Dict[Tuple[str, str], List[MeasureResult]] = {}
+        self._baselines: Dict[str, float] = {}
+
+    def trace_for(self, program: str) -> Trace:
+        return dacapo_trace(program, scale=self.scale)
+
+    def baseline(self, program: str) -> float:
+        if program not in self._baselines:
+            self._baselines[program] = uninstrumented_time(self.trace_for(program))
+        return self._baselines[program]
+
+    def runs(self, program: str, analysis: str) -> List[MeasureResult]:
+        """All trials for a cell, measuring on first use."""
+        key = (program, analysis)
+        if key not in self._results:
+            trace = self.trace_for(program)
+            base = self.baseline(program)
+            self._results[key] = [
+                measure_once(trace, analysis, program, baseline=base)
+                for _ in range(self.trials)
+            ]
+        return self._results[key]
+
+    def cell(self, program: str, analysis: str) -> MeasureResult:
+        """First-trial result for a cell (the common single-trial case)."""
+        return self.runs(program, analysis)[0]
+
+    def slowdowns(self, program: str, analysis: str) -> List[float]:
+        return [r.slowdown for r in self.runs(program, analysis)]
+
+    def memory_factors(self, program: str, analysis: str) -> List[float]:
+        return [r.memory_factor for r in self.runs(program, analysis)]

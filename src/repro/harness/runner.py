@@ -1,0 +1,83 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.harness.runner --table 4           # one table
+    python -m repro.harness.runner --all --scale 0.5   # everything, smaller
+    python -m repro.harness.runner --table 7 --trials 3 --out bench_results/
+
+Tables: 2 (characteristics), 3 (baselines), 4 (geomeans + headline
+claims), 5 (per-program time), 6 (per-program memory), 7 (races),
+8 (time CIs), 9 (memory CIs), 12 (SmartTrack-WDC case frequencies).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional
+
+from repro.harness.measure import Measurements
+from repro.harness import tables as T
+
+
+def build_table(meas: Measurements, table: int) -> str:
+    if table == 2:
+        return T.table2(meas)[0]
+    if table == 3:
+        return T.table3(meas)[0]
+    if table == 4:
+        text, data = T.table4(meas)
+        return text + "\n" + T.headline_summary(data)[0]
+    if table == 5:
+        return T.table5(meas)[0]
+    if table == 6:
+        return T.table6(meas)[0]
+    if table == 7:
+        return T.table7(meas)[0]
+    if table == 8:
+        return T.table_ci(meas, "time")[0]
+    if table == 9:
+        return T.table_ci(meas, "memory")[0]
+    if table == 12:
+        return T.table12(meas)[0]
+    raise SystemExit("unknown table {} (choose 2-9 or 12)".format(table))
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the SmartTrack paper's evaluation tables")
+    parser.add_argument("--table", type=int, action="append",
+                        help="table number (repeatable)")
+    parser.add_argument("--all", action="store_true",
+                        help="regenerate every table")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="workload scale factor (default REPRO_SCALE or 1.0)")
+    parser.add_argument("--trials", type=int, default=1,
+                        help="trials per cell (use >1 for CI tables)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="directory to also write table files into")
+    args = parser.parse_args(argv)
+
+    tables = args.table or []
+    if args.all:
+        tables = [2, 3, 4, 5, 6, 7, 12]
+    if not tables:
+        parser.error("pass --table N (repeatable) or --all")
+
+    meas = Measurements(scale=args.scale, trials=args.trials)
+    for number in tables:
+        text = build_table(meas, number)
+        print(text)
+        print()
+        if args.out:
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, "table{}.txt".format(number))
+            with open(path, "w") as fp:
+                fp.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""Statistics for the harness: mean, geometric mean, 95% confidence
+intervals (paper §5.2: every reported number is a mean of 10 trials;
+Appendix A adds 95% confidence intervals)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+# Two-sided 95% t-distribution critical values by degrees of freedom.
+_T95 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
+        7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228, 15: 2.131, 20: 2.086,
+        30: 2.042}
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (empty input -> 0)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of positive values (empty input -> 0)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def _t95(df: int) -> float:
+    if df <= 0:
+        return 0.0
+    if df in _T95:
+        return _T95[df]
+    keys = sorted(_T95)
+    for k in keys:
+        if df < k:
+            return _T95[k]
+    return 1.960  # large-sample normal approximation
+
+
+def confidence_interval(values: Sequence[float]) -> Tuple[float, float]:
+    """(mean, 95% half-width) of a sample, Student-t based."""
+    values = list(values)
+    n = len(values)
+    m = mean(values)
+    if n < 2:
+        return m, 0.0
+    var = sum((v - m) ** 2 for v in values) / (n - 1)
+    half = _t95(n - 1) * math.sqrt(var / n)
+    return m, half
+
+
+def fmt_factor(x: float) -> str:
+    """Format a slowdown/usage factor the way the paper prints them
+    (two significant digits, e.g. ``4.2x``, ``26x``, ``110x``)."""
+    if x <= 0:
+        return "-"
+    if x >= 99.5:
+        return "{:.0f}x".format(round(x / 10.0) * 10)
+    if x >= 9.95:
+        return "{:.0f}x".format(x)
+    return "{:.1f}x".format(x)

@@ -1,0 +1,33 @@
+"""Executable specification of the paper's relations and of predictable races.
+
+* :mod:`repro.oracle.closure` computes the HB, WCP, DC, and WDC relations of
+  a (small) trace by explicit fixpoint, directly from their definitions
+  (paper §2.3, §2.4, Definition 1, §3).
+* :mod:`repro.oracle.predictable` exhaustively searches for a predicted
+  trace witnessing a race (paper §2.2), giving ground truth for
+  "predictable race" on tiny traces.
+
+These exist to differentially test the optimized online analyses; they are
+quadratic (or worse) in trace length by design.
+"""
+
+from repro.oracle.closure import RelationClosure, compute_closure, race_pairs, racy_vars
+from repro.oracle.predictable import (
+    check_predicted_trace,
+    find_witness,
+    has_predictable_race,
+    predictable_race_pairs,
+    search_witness,
+)
+
+__all__ = [
+    "RelationClosure",
+    "check_predicted_trace",
+    "compute_closure",
+    "find_witness",
+    "has_predictable_race",
+    "predictable_race_pairs",
+    "race_pairs",
+    "racy_vars",
+    "search_witness",
+]

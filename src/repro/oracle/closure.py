@@ -1,0 +1,373 @@
+"""Reference (oracle) computation of the HB, WCP, DC, and WDC relations.
+
+This module computes, for every pair of events in a trace, whether they are
+ordered by a given relation — by explicit fixpoint directly over the
+relation definitions (paper §2.3, §2.4 Definition 1, §3).  It is the
+executable specification the optimized online analyses are tested against.
+
+Representation: boolean "predecessor" matrices (numpy), where
+``before[i, j]`` means event ``j`` is strictly ordered before event ``i``
+(note the row is the *later* event; rows are predecessor bitsets).  All
+relation edges point forward in trace order, so one forward pass per
+fixpoint round suffices.
+
+Relation recap:
+
+* **HB**: PO ∪ (release → later acquire, same lock) ∪ hard edges, closed
+  transitively.
+* **WDC**: PO ∪ hard edges ∪ rule (a) edges (release of a critical section
+  → conflicting event in a later critical section on the same lock), closed
+  transitively.
+* **DC**: WDC plus rule (b): releases on the same lock become ordered when
+  the earlier critical section's acquire is ordered before the later
+  release.  Rule (b) is conditional, so DC needs an outer fixpoint.
+* **WCP**: rule (a) edges with HB composition on both sides plus rule (b);
+  WCP itself contains neither PO nor release–acquire edges (that is why an
+  HB-ordered pair can still be a WCP-race, Figure 1).
+
+"Hard" edges — thread fork/join, conflicting volatile accesses, and class
+initialization — establish order in *every* analysis (paper §5.1), so they
+participate in all four relations (for WCP: with the source event itself
+included, unlike plain HB edges, which only carry WCP knowledge).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.trace.event import (
+    ACQUIRE,
+    FORK,
+    JOIN,
+    READ,
+    RELEASE,
+    STATIC_ACCESS,
+    STATIC_INIT,
+    VOLATILE_READ,
+    VOLATILE_WRITE,
+    WRITE,
+)
+from repro.trace.trace import Trace
+
+RELATIONS = ("hb", "wcp", "dc", "wdc")
+
+
+class CriticalSection(NamedTuple):
+    """A critical section on some lock: events by one thread between an
+    acquire and its matching release (release index is None while open)."""
+
+    tid: int
+    lock: int
+    acq: int
+    rel: Optional[int]
+    reads: Dict[int, List[int]]  # var -> access event indices (reads)
+    writes: Dict[int, List[int]]  # var -> access event indices (writes)
+
+
+def _critical_sections(trace: Trace) -> Dict[int, List[CriticalSection]]:
+    """All critical sections per lock, in trace order, including nesting.
+
+    An access inside nested critical sections belongs to every enclosing
+    critical section (rule (a) applies per lock).
+    """
+    open_cs: Dict[Tuple[int, int], CriticalSection] = {}
+    per_lock: Dict[int, List[CriticalSection]] = {}
+    held: Dict[int, List[int]] = {}
+    for i, e in enumerate(trace.events):
+        t = e.tid
+        if e.kind == ACQUIRE:
+            cs = CriticalSection(t, e.target, i, None, {}, {})
+            open_cs[(t, e.target)] = cs
+            held.setdefault(t, []).append(e.target)
+        elif e.kind == RELEASE:
+            cs = open_cs.pop((t, e.target))
+            held[t].remove(e.target)
+            per_lock.setdefault(e.target, []).append(cs._replace(rel=i))
+        elif e.kind in (READ, WRITE):
+            for m in held.get(t, ()):  # record in every enclosing CS
+                cs = open_cs[(t, m)]
+                bucket = cs.writes if e.kind == WRITE else cs.reads
+                bucket.setdefault(e.target, []).append(i)
+    # Open critical sections at trace end: they can be the *second* critical
+    # section of rule (a) (their accesses get ordered after earlier
+    # releases) but never the first (there is no release event), matching
+    # the online analyses, which join at accesses and publish at releases.
+    for cs in open_cs.values():
+        per_lock.setdefault(cs.lock, []).append(cs)
+    for sections in per_lock.values():
+        sections.sort(key=lambda cs: cs.acq)
+    return per_lock
+
+
+def _conflicting_access_targets(first: CriticalSection, second: CriticalSection) -> List[int]:
+    """Event indices in ``second`` that conflict with some event in ``first``."""
+    if first.tid == second.tid:
+        return []
+    out: Set[int] = set()
+    for var, writes in first.writes.items():
+        if writes:
+            out.update(second.writes.get(var, ()))
+            out.update(second.reads.get(var, ()))
+    for var, reads in first.reads.items():
+        if reads:
+            out.update(second.writes.get(var, ()))
+    return sorted(out)
+
+
+def _rule_a_edges(trace: Trace) -> List[Tuple[int, int]]:
+    """Rule (a) base edges: (release of first CS) -> conflicting event."""
+    edges: List[Tuple[int, int]] = []
+    for sections in _critical_sections(trace).values():
+        for i, first in enumerate(sections):
+            if first.rel is None:
+                continue
+            for second in sections[i + 1:]:
+                for target in _conflicting_access_targets(first, second):
+                    edges.append((first.rel, target))
+    return edges
+
+
+def _hard_edges(trace: Trace) -> List[Tuple[int, int]]:
+    """Fork/join, conflicting-volatile, and class-init edges (§5.1)."""
+    edges: List[Tuple[int, int]] = []
+    first_of: Dict[int, int] = {}
+    last_of: Dict[int, int] = {}
+    for i, e in enumerate(trace.events):
+        if e.tid not in first_of:
+            first_of[e.tid] = i
+        last_of[e.tid] = i
+    vol_writes: Dict[int, List[int]] = {}
+    vol_reads: Dict[int, List[int]] = {}
+    inits: Dict[int, List[int]] = {}
+    for i, e in enumerate(trace.events):
+        if e.kind == FORK:
+            child = e.target
+            if child in first_of and first_of[child] > i:
+                edges.append((i, first_of[child]))
+        elif e.kind == JOIN:
+            child = e.target
+            if child in last_of and last_of[child] < i:
+                edges.append((last_of[child], i))
+        elif e.kind == VOLATILE_WRITE:
+            v = e.target
+            for j in vol_writes.get(v, ()):
+                edges.append((j, i))
+            for j in vol_reads.get(v, ()):
+                edges.append((j, i))
+            vol_writes.setdefault(v, []).append(i)
+        elif e.kind == VOLATILE_READ:
+            v = e.target
+            for j in vol_writes.get(v, ()):
+                edges.append((j, i))
+            vol_reads.setdefault(v, []).append(i)
+        elif e.kind == STATIC_INIT:
+            inits.setdefault(e.target, []).append(i)
+        elif e.kind == STATIC_ACCESS:
+            for j in inits.get(e.target, ()):
+                edges.append((j, i))
+    return edges
+
+
+def _po_edges(trace: Trace) -> List[Tuple[int, int]]:
+    edges: List[Tuple[int, int]] = []
+    last: Dict[int, int] = {}
+    for i, e in enumerate(trace.events):
+        if e.tid in last:
+            edges.append((last[e.tid], i))
+        last[e.tid] = i
+    return edges
+
+
+def _rel_acq_edges(trace: Trace) -> List[Tuple[int, int]]:
+    """HB release→acquire edges (consecutive per lock; closure fills rest)."""
+    edges: List[Tuple[int, int]] = []
+    last_rel: Dict[int, int] = {}
+    for i, e in enumerate(trace.events):
+        if e.kind == RELEASE:
+            last_rel[e.target] = i
+        elif e.kind == ACQUIRE and e.target in last_rel:
+            edges.append((last_rel[e.target], i))
+    return edges
+
+
+def _forward_closure(n: int, carry_edges: Sequence[Tuple[int, int]],
+                     include_edges: Sequence[Tuple[int, int]]) -> np.ndarray:
+    """Single forward pass computing predecessor bitsets.
+
+    ``carry_edges`` (j, i) propagate j's predecessor set to i *without*
+    including j itself; ``include_edges`` also include j.  All edges must
+    point forward in trace order.
+    """
+    before = np.zeros((n, n), dtype=bool)
+    carry: Dict[int, List[int]] = {}
+    include: Dict[int, List[int]] = {}
+    for j, i in carry_edges:
+        carry.setdefault(i, []).append(j)
+    for j, i in include_edges:
+        include.setdefault(i, []).append(j)
+    for i in range(n):
+        row = before[i]
+        for j in carry.get(i, ()):
+            np.logical_or(row, before[j], out=row)
+        for j in include.get(i, ()):
+            np.logical_or(row, before[j], out=row)
+            row[j] = True
+    return before
+
+
+class RelationClosure:
+    """The computed relation of one trace: ``closure.before[i, j]`` is True
+    when event ``j`` is strictly ordered before event ``i``."""
+
+    def __init__(self, trace: Trace, relation: str, before: np.ndarray):
+        self.trace = trace
+        self.relation = relation
+        self.before = before
+
+    def ordered(self, i: int, j: int) -> bool:
+        """Is event ``min`` ordered before event ``max`` (either arg order)?"""
+        if i == j:
+            return False
+        lo, hi = (i, j) if i < j else (j, i)
+        return bool(self.before[hi, lo])
+
+
+def compute_closure(trace: Trace, relation: str) -> RelationClosure:
+    """Compute the given relation ("hb", "wcp", "dc", or "wdc") of a trace."""
+    if relation not in RELATIONS:
+        raise ValueError("unknown relation {!r}".format(relation))
+    n = len(trace)
+    po = _po_edges(trace)
+    hard = _hard_edges(trace)
+    rel_acq = _rel_acq_edges(trace)
+    rule_a = _rule_a_edges(trace)
+
+    if relation == "hb":
+        before = _forward_closure(n, [], po + hard + rel_acq)
+        return RelationClosure(trace, relation, before)
+
+    if relation == "wdc":
+        before = _forward_closure(n, [], po + hard + rule_a)
+        return RelationClosure(trace, relation, before)
+
+    sections = _critical_sections(trace)
+
+    if relation == "dc":
+        edges = list(po + hard + rule_a)
+        while True:
+            before = _forward_closure(n, [], edges)
+            added = _derive_rule_b(trace, sections, before, edges)
+            if not added:
+                return RelationClosure(trace, relation, before)
+
+    # WCP: carry along HB edges (PO, rel-acq); rule (a)/(b) edges seed the
+    # *HB* predecessor set of the release (left composition); hard edges
+    # (fork/join/volatile/class-init) establish order in the relation
+    # itself (§5.1), seeding the source's strong-program-order prefix —
+    # PO plus hard edges, matching the online analyses' event clocks —
+    # but *not* its full HB history (a lock-synchronized predecessor of a
+    # volatile write is still reorderable, cf. Figure 1).
+    hb = _forward_closure(n, [], po + hard + rel_acq)
+    sp = _forward_closure(n, [], po + hard)
+    base_edges = list(rule_a)
+    carry = po + rel_acq
+    while True:
+        before = _wcp_forward(n, carry, base_edges, hard, hb, sp)
+        added = _derive_rule_b(trace, sections, before, base_edges)
+        if not added:
+            return RelationClosure(trace, relation, before)
+
+
+def _wcp_forward(n: int, carry: Sequence[Tuple[int, int]],
+                 base_edges: Sequence[Tuple[int, int]],
+                 hard_edges: Sequence[Tuple[int, int]],
+                 hb: np.ndarray, sp: np.ndarray) -> np.ndarray:
+    """Forward pass for WCP (see :func:`compute_closure` comments)."""
+    before = np.zeros((n, n), dtype=bool)
+    carry_map: Dict[int, List[int]] = {}
+    base_map: Dict[int, List[int]] = {}
+    hard_map: Dict[int, List[int]] = {}
+    for j, i in carry:
+        carry_map.setdefault(i, []).append(j)
+    for j, i in base_edges:
+        base_map.setdefault(i, []).append(j)
+    for j, i in hard_edges:
+        hard_map.setdefault(i, []).append(j)
+    for i in range(n):
+        row = before[i]
+        for j in carry_map.get(i, ()):
+            np.logical_or(row, before[j], out=row)
+        for j in hard_map.get(i, ()):
+            np.logical_or(row, sp[j], out=row)
+            np.logical_or(row, before[j], out=row)
+            row[j] = True
+        for j in base_map.get(i, ()):
+            np.logical_or(row, hb[j], out=row)
+            np.logical_or(row, before[j], out=row)
+            row[j] = True
+    return before
+
+
+def _derive_rule_b(trace: Trace, sections, before: np.ndarray,
+                   edges: List[Tuple[int, int]]) -> bool:
+    """Add rule (b) edges rel1 -> rel2 whose premise (acq1 ordered before
+    rel2) holds under the current closure.  Returns True if any were new."""
+    existing = set(edges)
+    added = False
+    for cs_list in sections.values():
+        for i, first in enumerate(cs_list):
+            if first.rel is None:
+                continue
+            for second in cs_list[i + 1:]:
+                if second.rel is None or first.tid == second.tid:
+                    continue
+                if before[second.rel, first.acq]:
+                    edge = (first.rel, second.rel)
+                    if edge not in existing:
+                        existing.add(edge)
+                        edges.append(edge)
+                        added = True
+    return added
+
+
+def race_pairs(trace: Trace, closure: RelationClosure) -> List[Tuple[int, int]]:
+    """All conflicting event pairs unordered by the closure's relation."""
+    per_var: Dict[int, List[int]] = {}
+    for i, e in enumerate(trace.events):
+        if e.kind in (READ, WRITE):
+            per_var.setdefault(e.target, []).append(i)
+    races: List[Tuple[int, int]] = []
+    events = trace.events
+    for accesses in per_var.values():
+        for a_pos, i in enumerate(accesses):
+            ei = events[i]
+            for j in accesses[a_pos + 1:]:
+                ej = events[j]
+                if ei.tid == ej.tid:
+                    continue
+                if ei.kind != WRITE and ej.kind != WRITE:
+                    continue
+                if not closure.before[j, i]:
+                    races.append((i, j))
+    return races
+
+
+def racy_vars(trace: Trace, closure: RelationClosure) -> Set[int]:
+    """The set of variables with at least one race under the relation."""
+    return {trace.events[i].target for i, _ in race_pairs(trace, closure)}
+
+
+def first_race(trace: Trace, closure: RelationClosure) -> Optional[Tuple[int, int]]:
+    """The race pair whose *second* access is earliest in the trace.
+
+    Online analyses detect a race at the second access of a racing pair;
+    the earliest such second access is where any exact analysis must report
+    its first dynamic race.
+    """
+    best: Optional[Tuple[int, int]] = None
+    for i, j in race_pairs(trace, closure):
+        if best is None or j < best[1] or (j == best[1] and i < best[0]):
+            best = (i, j)
+    return best

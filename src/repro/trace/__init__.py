@@ -1,0 +1,53 @@
+"""Execution traces: events, trace containers, builders, and a text format.
+
+The paper's analyses are defined over *execution traces* (§2.1): totally
+ordered lists of events, each a thread identifier plus an operation —
+``wr(x)``, ``rd(x)``, ``acq(m)``, ``rel(m)`` — extended (§5.1) with thread
+fork/join, volatile accesses, and class-initialization edges.
+"""
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.event import (
+    ACQUIRE,
+    FORK,
+    JOIN,
+    KIND_NAMES,
+    READ,
+    RELEASE,
+    STATIC_ACCESS,
+    STATIC_INIT,
+    VOLATILE_READ,
+    VOLATILE_WRITE,
+    WRITE,
+    Event,
+    is_access,
+    is_read,
+    is_write,
+)
+from repro.trace.format import dump_trace, dumps_trace, load_trace, loads_trace
+from repro.trace.trace import Trace, WellFormednessError
+
+__all__ = [
+    "ACQUIRE",
+    "Event",
+    "FORK",
+    "JOIN",
+    "KIND_NAMES",
+    "READ",
+    "RELEASE",
+    "STATIC_ACCESS",
+    "STATIC_INIT",
+    "Trace",
+    "TraceBuilder",
+    "VOLATILE_READ",
+    "VOLATILE_WRITE",
+    "WRITE",
+    "WellFormednessError",
+    "dump_trace",
+    "dumps_trace",
+    "is_access",
+    "is_read",
+    "is_write",
+    "load_trace",
+    "loads_trace",
+]

@@ -1,0 +1,199 @@
+"""A fluent builder for constructing traces from symbolic names.
+
+Examples in the paper write traces as per-thread columns of operations like
+``rd(x)`` and ``acq(m)``.  :class:`TraceBuilder` lets tests and examples
+transcribe them directly::
+
+    b = TraceBuilder()
+    b.read("T1", "x")
+    b.acquire("T1", "m")
+    b.write("T1", "y")
+    b.release("T1", "m")
+    ...
+    trace = b.build()
+
+The builder interns thread/lock/variable names into dense ids and assigns a
+distinct site to each (thread, operation, operand) triple unless an explicit
+``site=`` is given.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.trace.event import (
+    ACQUIRE,
+    FORK,
+    JOIN,
+    READ,
+    RELEASE,
+    STATIC_ACCESS,
+    STATIC_INIT,
+    VOLATILE_READ,
+    VOLATILE_WRITE,
+    WRITE,
+    Event,
+)
+from repro.trace.trace import Trace
+
+Name = Union[str, int]
+
+
+class _Interner:
+    def __init__(self) -> None:
+        self.ids: Dict[str, int] = {}
+        self.names: List[str] = []
+
+    def intern(self, name: Name) -> int:
+        if isinstance(name, int):
+            return name
+        ident = self.ids.get(name)
+        if ident is None:
+            ident = len(self.names)
+            self.ids[name] = ident
+            self.names.append(name)
+        return ident
+
+
+class TraceBuilder:
+    """Accumulates events; see module docstring."""
+
+    def __init__(self) -> None:
+        self._threads = _Interner()
+        self._locks = _Interner()
+        self._vars = _Interner()
+        self._volatiles = _Interner()
+        self._classes = _Interner()
+        self._sites = _Interner()
+        self.events: List[Event] = []
+
+    # -- id helpers ----------------------------------------------------
+    def thread_id(self, name: Name) -> int:
+        """Dense id for a thread name (interning it if new)."""
+        return self._threads.intern(name)
+
+    def var_id(self, name: Name) -> int:
+        """Dense id for a variable name (interning it if new)."""
+        return self._vars.intern(name)
+
+    def lock_id(self, name: Name) -> int:
+        """Dense id for a lock name (interning it if new)."""
+        return self._locks.intern(name)
+
+    def _site(self, explicit: Optional[Name], default_key: str) -> int:
+        if explicit is not None:
+            return self._sites.intern(explicit)
+        return self._sites.intern(default_key)
+
+    def _emit(self, tid: int, kind: int, target: int, site: int) -> "TraceBuilder":
+        self.events.append(Event(tid, kind, target, site))
+        return self
+
+    # -- operations -----------------------------------------------------
+    def read(self, thread: Name, var: Name, site: Optional[Name] = None) -> "TraceBuilder":
+        """Append ``rd(var)`` by ``thread``."""
+        t = self._threads.intern(thread)
+        x = self._vars.intern(var)
+        return self._emit(t, READ, x, self._site(site, "rd:{}:{}".format(thread, var)))
+
+    def write(self, thread: Name, var: Name, site: Optional[Name] = None) -> "TraceBuilder":
+        """Append ``wr(var)`` by ``thread``."""
+        t = self._threads.intern(thread)
+        x = self._vars.intern(var)
+        return self._emit(t, WRITE, x, self._site(site, "wr:{}:{}".format(thread, var)))
+
+    def acquire(self, thread: Name, lock: Name) -> "TraceBuilder":
+        """Append ``acq(lock)`` by ``thread``."""
+        t = self._threads.intern(thread)
+        m = self._locks.intern(lock)
+        return self._emit(t, ACQUIRE, m, self._site(None, "acq:{}".format(lock)))
+
+    def release(self, thread: Name, lock: Name) -> "TraceBuilder":
+        """Append ``rel(lock)`` by ``thread``."""
+        t = self._threads.intern(thread)
+        m = self._locks.intern(lock)
+        return self._emit(t, RELEASE, m, self._site(None, "rel:{}".format(lock)))
+
+    def fork(self, parent: Name, child: Name) -> "TraceBuilder":
+        """Append ``fork(child)`` by ``parent``."""
+        t = self._threads.intern(parent)
+        u = self._threads.intern(child)
+        return self._emit(t, FORK, u, self._site(None, "fork:{}".format(child)))
+
+    def join(self, joiner: Name, child: Name) -> "TraceBuilder":
+        """Append ``join(child)`` by ``joiner``."""
+        t = self._threads.intern(joiner)
+        u = self._threads.intern(child)
+        return self._emit(t, JOIN, u, self._site(None, "join:{}".format(child)))
+
+    def volatile_read(self, thread: Name, var: Name, site: Optional[Name] = None) -> "TraceBuilder":
+        """Append a volatile read by ``thread``."""
+        t = self._threads.intern(thread)
+        v = self._volatiles.intern(var)
+        return self._emit(t, VOLATILE_READ, v, self._site(site, "vrd:{}".format(var)))
+
+    def volatile_write(self, thread: Name, var: Name, site: Optional[Name] = None) -> "TraceBuilder":
+        """Append a volatile write by ``thread``."""
+        t = self._threads.intern(thread)
+        v = self._volatiles.intern(var)
+        return self._emit(t, VOLATILE_WRITE, v, self._site(site, "vwr:{}".format(var)))
+
+    def static_init(self, thread: Name, cls: Name) -> "TraceBuilder":
+        """Append a "class initialized" event (§5.1)."""
+        t = self._threads.intern(thread)
+        c = self._classes.intern(cls)
+        return self._emit(t, STATIC_INIT, c, self._site(None, "sinit:{}".format(cls)))
+
+    def static_access(self, thread: Name, cls: Name) -> "TraceBuilder":
+        """Append a "class accessed" event (§5.1)."""
+        t = self._threads.intern(thread)
+        c = self._classes.intern(cls)
+        return self._emit(t, STATIC_ACCESS, c, self._site(None, "sacc:{}".format(cls)))
+
+    def sync(self, thread: Name, lock: Name) -> "TraceBuilder":
+        """The paper's ``sync(o)`` shorthand (Figures 3 and 4).
+
+        Emits ``acq(o); rd(oVar); wr(oVar); rel(o)`` — a critical section
+        whose variable accesses conflict with every other ``sync(o)``,
+        establishing rule (a) ordering between them.
+        """
+        var = "{}Var".format(lock)
+        self.acquire(thread, lock)
+        self.read(thread, var, site="sync-rd:{}".format(lock))
+        self.write(thread, var, site="sync-wr:{}".format(lock))
+        self.release(thread, lock)
+        return self
+
+    def wait(self, thread: Name, lock: Name) -> "TraceBuilder":
+        """``wait()`` modeled as a release followed by an acquire (§5.1)."""
+        self.release(thread, lock)
+        self.acquire(thread, lock)
+        return self
+
+    # -- finishing -------------------------------------------------------
+    def build(self, validate: bool = True) -> Trace:
+        """Freeze the accumulated events into a :class:`Trace`."""
+        return Trace(
+            self.events,
+            num_threads=max(len(self._threads.names), self._max_int_id("tid") + 1),
+            num_locks=max(len(self._locks.names), 1),
+            num_vars=max(len(self._vars.names), 1),
+            num_volatiles=max(len(self._volatiles.names), 1),
+            num_classes=max(len(self._classes.names), 1),
+            names={
+                "thread": self._threads.names,
+                "lock": self._locks.names,
+                "var": self._vars.names,
+                "volatile": self._volatiles.names,
+                "class": self._classes.names,
+                "site": self._sites.names,
+            },
+            validate=validate,
+        )
+
+    def _max_int_id(self, _field: str) -> int:
+        best = -1
+        for e in self.events:
+            if e.tid > best:
+                best = e.tid
+        return best

@@ -1,0 +1,106 @@
+"""Trace events.
+
+Each event consists of a thread identifier and an operation (paper §2.1).
+Operations carry a single operand — a variable, lock, thread, volatile
+variable, or class — identified by a dense integer id per namespace.
+
+Events also carry a *site*: an integer standing in for the static program
+location that performed the operation.  The paper's race reporting counts
+"statically distinct races (i.e., distinct program locations)" separately
+from total dynamic races (Table 7), which requires sites.
+"""
+
+from __future__ import annotations
+
+# Event kinds.  Plain ints (not an Enum) because analyses dispatch on the
+# kind for every event of multi-million event traces.
+READ = 0
+WRITE = 1
+ACQUIRE = 2
+RELEASE = 3
+FORK = 4  # target = forked thread id
+JOIN = 5  # target = joined thread id
+VOLATILE_READ = 6
+VOLATILE_WRITE = 7
+STATIC_INIT = 8  # target = class id ("class initialized", §5.1)
+STATIC_ACCESS = 9  # target = class id ("class accessed", §5.1)
+
+KIND_NAMES = {
+    READ: "rd",
+    WRITE: "wr",
+    ACQUIRE: "acq",
+    RELEASE: "rel",
+    FORK: "fork",
+    JOIN: "join",
+    VOLATILE_READ: "vrd",
+    VOLATILE_WRITE: "vwr",
+    STATIC_INIT: "sinit",
+    STATIC_ACCESS: "sacc",
+}
+
+NAME_KINDS = {name: kind for kind, name in KIND_NAMES.items()}
+
+
+class Event:
+    """A single trace event: ``(tid, kind, target, site)``.
+
+    ``target`` is the operand id; its namespace depends on ``kind``
+    (variable for rd/wr, lock for acq/rel, thread for fork/join, volatile
+    variable for vrd/vwr, class for sinit/sacc).
+    """
+
+    __slots__ = ("tid", "kind", "target", "site")
+
+    def __init__(self, tid: int, kind: int, target: int, site: int = 0):
+        self.tid = tid
+        self.kind = kind
+        self.target = target
+        self.site = site
+
+    def __repr__(self) -> str:
+        return "Event(T{} {}({}) @site{})".format(
+            self.tid, KIND_NAMES[self.kind], self.target, self.site
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.tid == other.tid
+            and self.kind == other.kind
+            and self.target == other.target
+            and self.site == other.site
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tid, self.kind, self.target, self.site))
+
+
+def is_read(event: Event) -> bool:
+    """True for data (non-volatile) reads."""
+    return event.kind == READ
+
+
+def is_write(event: Event) -> bool:
+    """True for data (non-volatile) writes."""
+    return event.kind == WRITE
+
+
+def is_access(event: Event) -> bool:
+    """True for data (non-volatile) reads and writes."""
+    return event.kind <= WRITE
+
+
+def conflicts(a: Event, b: Event) -> bool:
+    """The conflict relation ``a ≍ b`` (§2.2).
+
+    Two events conflict if they access the same variable from different
+    threads and at least one is a write.
+    """
+    return (
+        is_access(a)
+        and is_access(b)
+        and a.target == b.target
+        and a.tid != b.tid
+        and (a.kind == WRITE or b.kind == WRITE)
+    )

@@ -1,0 +1,209 @@
+"""The ``Trace`` container and well-formedness validation.
+
+An execution trace is a totally ordered list of events representing a
+linearization of a multithreaded execution (paper §2.1).  A trace must be
+*well formed*: a thread only acquires a lock that is not held and only
+releases a lock it holds.  We additionally require forks/joins to be sane
+(a thread is forked at most once, before any of its events; joined only
+after its last event) and exclude re-entrant acquires (as does the paper's
+formalism).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.trace.event import (
+    ACQUIRE,
+    FORK,
+    JOIN,
+    KIND_NAMES,
+    READ,
+    RELEASE,
+    STATIC_ACCESS,
+    STATIC_INIT,
+    VOLATILE_READ,
+    VOLATILE_WRITE,
+    WRITE,
+    Event,
+)
+
+
+class WellFormednessError(ValueError):
+    """Raised when a trace violates locking or fork/join discipline."""
+
+    def __init__(self, index: int, event: Event, reason: str):
+        self.index = index
+        self.event = event
+        self.reason = reason
+        super().__init__(
+            "event {} ({}): {}".format(index, repr(event), reason)
+        )
+
+
+class Trace:
+    """An execution trace over dense thread/lock/variable id spaces.
+
+    Parameters
+    ----------
+    events:
+        The totally ordered event list.
+    num_threads, num_locks, num_vars, num_volatiles, num_classes:
+        Sizes of the id namespaces.  Derived from the events when omitted.
+    names:
+        Optional mapping from namespace (``"thread"``, ``"lock"``, ``"var"``,
+        ``"volatile"``, ``"class"``, ``"site"``) to a list of human-readable
+        names, as produced by :class:`~repro.trace.builder.TraceBuilder`.
+    validate:
+        Check well-formedness on construction (default True).
+    """
+
+    def __init__(
+        self,
+        events: Sequence[Event],
+        num_threads: Optional[int] = None,
+        num_locks: Optional[int] = None,
+        num_vars: Optional[int] = None,
+        num_volatiles: Optional[int] = None,
+        num_classes: Optional[int] = None,
+        names: Optional[Dict[str, List[str]]] = None,
+        validate: bool = True,
+    ):
+        self.events: List[Event] = list(events)
+        self.num_threads = self._derive(num_threads, self._max_tid() + 1)
+        self.num_locks = self._derive(num_locks, self._max_target({ACQUIRE, RELEASE}) + 1)
+        self.num_vars = self._derive(num_vars, self._max_target({READ, WRITE}) + 1)
+        self.num_volatiles = self._derive(
+            num_volatiles, self._max_target({VOLATILE_READ, VOLATILE_WRITE}) + 1
+        )
+        self.num_classes = self._derive(
+            num_classes, self._max_target({STATIC_INIT, STATIC_ACCESS}) + 1
+        )
+        self.names = names or {}
+        if validate:
+            self.validate()
+
+    @staticmethod
+    def _derive(given: Optional[int], computed: int) -> int:
+        return computed if given is None else given
+
+    def _max_tid(self) -> int:
+        best = -1
+        for e in self.events:
+            if e.tid > best:
+                best = e.tid
+            if e.kind in (FORK, JOIN) and e.target > best:
+                best = e.target
+        return best
+
+    def _max_target(self, kinds) -> int:
+        best = -1
+        for e in self.events:
+            if e.kind in kinds and e.target > best:
+                best = e.target
+        return best
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __getitem__(self, i: int) -> Event:
+        return self.events[i]
+
+    # ------------------------------------------------------------------
+    # Well-formedness
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`WellFormednessError` on the first violation."""
+        held: Dict[int, int] = {}  # lock -> holder tid
+        stacks: Dict[int, List[int]] = {}  # tid -> lock stack
+        forked = set()
+        joined = set()
+        started = set()
+        for i, e in enumerate(self.events):
+            t = e.tid
+            if t in joined:
+                raise WellFormednessError(i, e, "thread acts after being joined")
+            started.add(t)
+            if e.kind == ACQUIRE:
+                m = e.target
+                if m in held:
+                    if held[m] == t:
+                        raise WellFormednessError(i, e, "re-entrant acquire")
+                    raise WellFormednessError(
+                        i, e, "lock already held by T{}".format(held[m])
+                    )
+                held[m] = t
+                stacks.setdefault(t, []).append(m)
+            elif e.kind == RELEASE:
+                m = e.target
+                if held.get(m) != t:
+                    raise WellFormednessError(i, e, "releasing a lock it does not hold")
+                del held[m]
+                stack = stacks[t]
+                if stack[-1] != m:
+                    # Non-LIFO unlock orders are legal executions; we allow
+                    # them but most workloads are nested.
+                    stack.remove(m)
+                else:
+                    stack.pop()
+            elif e.kind == FORK:
+                u = e.target
+                if u == t:
+                    raise WellFormednessError(i, e, "thread forks itself")
+                if u in forked or u in started:
+                    raise WellFormednessError(i, e, "forked thread already exists")
+                forked.add(u)
+            elif e.kind == JOIN:
+                u = e.target
+                if u == t:
+                    raise WellFormednessError(i, e, "thread joins itself")
+                if u in joined:
+                    raise WellFormednessError(i, e, "thread joined twice")
+                joined.add(u)
+        for t, stack in stacks.items():
+            # Unreleased locks at trace end are allowed (the observed window
+            # may end mid-critical-section), so nothing to check here.
+            pass
+
+    # ------------------------------------------------------------------
+    # Conveniences
+    # ------------------------------------------------------------------
+    def thread_events(self, tid: int) -> List[int]:
+        """Indices of the events executed by ``tid``, in order."""
+        return [i for i, e in enumerate(self.events) if e.tid == tid]
+
+    def counts_by_kind(self) -> Dict[str, int]:
+        """Event counts keyed by operation name (for reporting)."""
+        out: Dict[str, int] = {}
+        for e in self.events:
+            name = KIND_NAMES[e.kind]
+            out[name] = out.get(name, 0) + 1
+        return out
+
+    def storage_bytes(self) -> int:
+        """Approximate in-memory footprint of the raw trace
+        (each event: 4 slot references plus 4 small ints)."""
+        return 96 * len(self.events)
+
+    def program_state_bytes(self) -> int:
+        """Modeled live heap of the *uninstrumented* program.
+
+        The paper reports memory relative to the uninstrumented program's
+        usage; the analogous baseline here is the program's own state —
+        its variables, locks, and thread stacks — rather than the trace,
+        which only the replay harness materializes.
+        """
+        return (24 * max(self.num_vars, 1)
+                + 64 * max(self.num_locks, 1)
+                + 1024 * max(self.num_threads, 1)
+                + 2048)
+
+    def name_of(self, namespace: str, ident: int) -> str:
+        """Human-readable name for an id, falling back to ``ns{id}``."""
+        table = self.names.get(namespace)
+        if table and 0 <= ident < len(table):
+            return table[ident]
+        return "{}{}".format(namespace[0], ident)

@@ -1,0 +1,18 @@
+"""Vindication: checking that a DC/WDC-race is a true predictable race.
+
+DC (and WDC) are unsound relations: a reported race may not correspond to
+any feasible reordering.  Prior work's Vindicator [Roemer et al. 2018]
+builds a constraint graph during the analysis and later attempts to
+construct a reordered trace exposing the race; the paper reuses it
+unchanged for WDC-races (§3) and discusses its cost (§4.3, Table 3 "w/ G").
+
+* :class:`~repro.vindication.graph.ConstraintGraph` — the event graph built
+  online by the ``unopt-*-g`` analyses.
+* :func:`~repro.vindication.vindicate.vindicate` — VindicateRace-style
+  witness construction and validation.
+"""
+
+from repro.vindication.graph import ConstraintGraph
+from repro.vindication.vindicate import VindicationResult, vindicate
+
+__all__ = ["ConstraintGraph", "VindicationResult", "vindicate"]

@@ -1,0 +1,53 @@
+"""The constraint graph built online by the "w/ G" analyses (paper §4.3).
+
+Nodes are trace events; edges record the cross-thread orderings the
+analysis discovered — rule (a) joins (release → conflicting access) and
+rule (b) joins (release → release).  Program order and hard
+(fork/join/volatile/class-init) edges are implicit in the trace and are
+re-derived by the vindicator, as they need no analysis state to compute.
+
+Building the graph is a deliberate cost: Table 3's "w/ G" columns measure
+exactly this time and memory overhead, which motivates the paper's
+record & replay alternative (§4.3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+NODE_BYTES = 16
+EDGE_BYTES = 24
+
+
+class ConstraintGraph:
+    """Event-indexed DAG of analysis-discovered ordering edges."""
+
+    def __init__(self, num_events_hint: int = 0):
+        self.num_events_hint = num_events_hint
+        self.edges: List[Tuple[int, int, str]] = []
+        self._edge_set: Set[Tuple[int, int]] = set()
+        self._events_noted = 0
+
+    def note_event(self, i: int) -> None:
+        """Register an event node (models Vindicator's per-event node cost)."""
+        self._events_noted += 1
+
+    def add_edge(self, src: int, dst: int, label: str) -> None:
+        """Record an ordering edge ``src`` → ``dst`` (deduplicated)."""
+        key = (src, dst)
+        if key in self._edge_set:
+            return
+        self._edge_set.add(key)
+        self.edges.append((src, dst, label))
+
+    def edges_labeled(self, label: str) -> List[Tuple[int, int]]:
+        """All (src, dst) pairs carrying the given label."""
+        return [(s, d) for s, d, lab in self.edges if lab == label]
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def footprint_bytes(self) -> int:
+        """Approximate bytes held by nodes and edges."""
+        return self._events_noted * NODE_BYTES + len(self.edges) * EDGE_BYTES

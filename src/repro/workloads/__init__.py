@@ -1,0 +1,40 @@
+"""Workloads: the paper's example executions, micro-patterns, and the
+synthetic DaCapo-analog benchmark programs (see DESIGN.md §2).
+"""
+
+from repro.workloads.dacapo import DACAPO_SPECS, dacapo_trace
+from repro.workloads.figures import (
+    figure1,
+    figure1_predicted,
+    figure2,
+    figure2_predicted,
+    figure3,
+    figure4a,
+    figure4b,
+    figure4b_extended,
+    figure4c,
+    figure4c_extended,
+    figure4d,
+    figure4d_extended,
+)
+from repro.workloads.generator import generate_trace
+from repro.workloads.spec import WorkloadSpec
+
+__all__ = [
+    "DACAPO_SPECS",
+    "WorkloadSpec",
+    "dacapo_trace",
+    "figure1",
+    "figure1_predicted",
+    "figure2",
+    "figure2_predicted",
+    "figure3",
+    "figure4a",
+    "figure4b",
+    "figure4b_extended",
+    "figure4c",
+    "figure4c_extended",
+    "figure4d",
+    "figure4d_extended",
+    "generate_trace",
+]

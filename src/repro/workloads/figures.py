@@ -1,0 +1,264 @@
+"""The paper's example executions, transcribed as traces.
+
+Each function returns a fresh :class:`~repro.trace.trace.Trace` for one of
+the paper's figures.  The claimed properties of every figure are asserted in
+``tests/test_figures.py`` against both the oracle closure and the analysis
+implementations:
+
+* Figure 1(a): no HB-race but a predictable race on ``x`` (WCP/DC/WDC-race).
+* Figure 2(a): a DC-race on ``x`` that is **not** a WCP-race.
+* Figure 3: a WDC-race on ``x`` that is not a DC-race and not a predictable
+  race (vindication must reject it).
+* Figure 4(a–d): executions driving SmartTrack's CCS machinery — deferred
+  release times, the [Read Share] case where FTO takes [Read Exclusive], and
+  the "extra" metadata at writes.
+
+``*_extended`` variants append accesses that turn the internal-tracking
+differences of Figure 4(b–d) into externally visible (false-)race behaviour
+for black-box testing.
+"""
+
+from __future__ import annotations
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import Trace
+
+
+def figure1() -> Trace:
+    """Figure 1(a): predictable race on ``x`` with no HB-race."""
+    b = TraceBuilder()
+    b.read("T1", "x")
+    b.acquire("T1", "m")
+    b.write("T1", "y")
+    b.release("T1", "m")
+    b.acquire("T2", "m")
+    b.read("T2", "z")
+    b.release("T2", "m")
+    b.write("T2", "x")
+    return b.build()
+
+
+def figure1_predicted() -> Trace:
+    """Figure 1(b): a predicted trace of Figure 1(a) exposing the race."""
+    b = TraceBuilder()
+    b.acquire("T2", "m")
+    b.read("T2", "z")
+    b.release("T2", "m")
+    b.read("T1", "x")
+    b.write("T2", "x")
+    return b.build()
+
+
+def figure2() -> Trace:
+    """Figure 2(a): a DC-race on ``x`` that is not a WCP-race."""
+    b = TraceBuilder()
+    b.read("T1", "x")
+    b.acquire("T1", "m")
+    b.write("T1", "y")
+    b.release("T1", "m")
+    b.acquire("T2", "m")
+    b.read("T2", "y")
+    b.release("T2", "m")
+    b.acquire("T2", "n")
+    b.release("T2", "n")
+    b.acquire("T3", "n")
+    b.release("T3", "n")
+    b.write("T3", "x")
+    return b.build()
+
+
+def figure2_predicted() -> Trace:
+    """Figure 2(b): a predicted trace of Figure 2(a) exposing the race."""
+    b = TraceBuilder()
+    b.acquire("T3", "n")
+    b.release("T3", "n")
+    b.read("T1", "x")
+    b.write("T3", "x")
+    return b.build()
+
+
+def figure3() -> Trace:
+    """Figure 3: a WDC-race on ``x`` that is *not* a predictable race.
+
+    DC rule (b) orders ``rel(m)`` by T1 before ``rel(m)`` by T3, so there is
+    no DC-race; WDC omits rule (b) and reports the (false) race.
+    """
+    b = TraceBuilder()
+    b.acquire("T1", "m")
+    b.sync("T1", "o")
+    b.read("T1", "x")
+    b.release("T1", "m")
+    b.sync("T2", "o")
+    b.sync("T2", "p")
+    b.acquire("T3", "m")
+    b.sync("T3", "p")
+    b.release("T3", "m")
+    b.write("T3", "x")
+    return b.build()
+
+
+def figure4a() -> Trace:
+    """Figure 4(a): the execution used to illustrate SmartTrack-DC.
+
+    Exercises deferred release times (T1 still holds ``p`` at T2's
+    ``rd(x)``), the [Read Share] case where FTO-DC would take
+    [Read Exclusive], and the conflicting-critical-section join on ``p`` at
+    T3's ``wr(x)``.  There is no race under any of the relations.
+    """
+    b = TraceBuilder()
+    b.acquire("T1", "p")
+    b.acquire("T1", "m")
+    b.acquire("T1", "n")
+    b.write("T1", "x")
+    b.release("T1", "n")
+    b.release("T1", "m")
+    b.acquire("T2", "m")
+    b.read("T2", "x")
+    b.release("T1", "p")
+    b.release("T2", "m")
+    b.sync("T2", "o")
+    b.sync("T3", "o")
+    b.acquire("T3", "p")
+    b.write("T3", "x")
+    b.release("T3", "p")
+    return b.build()
+
+
+def figure4b() -> Trace:
+    """Figure 4(b): motivates [Read Share] where FTO takes [Read Exclusive].
+
+    If SmartTrack took [Read Exclusive] at T2's ``rd(x)`` it would lose
+    T1's critical section on ``m`` and miss the rule (a) ordering from T1's
+    ``rel(m)`` to T3's ``wr(x)``.
+    """
+    b = TraceBuilder()
+    b.acquire("T1", "m")
+    b.read("T1", "x")
+    b.sync("T1", "o")
+    b.sync("T2", "o")
+    b.read("T2", "x")
+    b.sync("T2", "p")
+    b.release("T1", "m")
+    b.sync("T3", "p")
+    b.acquire("T3", "m")
+    b.write("T3", "x")
+    b.release("T3", "m")
+    return b.build()
+
+
+def figure4b_extended() -> Trace:
+    """Figure 4(b) plus accesses that expose lost tracking as a false race.
+
+    T1 writes ``z`` inside its critical section on ``m``; T3 reads ``z``
+    after its own critical section on ``m``.  ``wr(z)`` by T1 is DC-ordered
+    before ``rd(z)`` by T3 only through the rule (a) edge from T1's
+    ``rel(m)`` to T3's ``wr(x)``, so an implementation that loses T1's
+    critical-section information reports a false race on ``z``.
+    """
+    b = TraceBuilder()
+    b.acquire("T1", "m")
+    b.read("T1", "x")
+    b.write("T1", "z")
+    b.sync("T1", "o")
+    b.sync("T2", "o")
+    b.read("T2", "x")
+    b.sync("T2", "p")
+    b.release("T1", "m")
+    b.sync("T3", "p")
+    b.acquire("T3", "m")
+    b.write("T3", "x")
+    b.release("T3", "m")
+    b.read("T3", "z")
+    return b.build()
+
+
+def figure4c() -> Trace:
+    """Figure 4(c): motivates the "extra" metadata ``E^w_x``/``E^r_x``.
+
+    T2's ``wr(x)`` executes outside any critical section and overwrites
+    ``L^r_x``/``L^w_x``, losing T1's critical section on ``m``; the extra
+    metadata must preserve it so T3's ``rd(x)`` (inside a critical section
+    on ``m``) still picks up the rule (a) ordering from T1's ``rel(m)``.
+    """
+    b = TraceBuilder()
+    b.acquire("T1", "m")
+    b.write("T1", "x")
+    b.sync("T1", "o")
+    b.sync("T2", "o")
+    b.write("T2", "x")
+    b.sync("T2", "p")
+    b.release("T1", "m")
+    b.sync("T3", "p")
+    b.acquire("T3", "m")
+    b.read("T3", "x")
+    b.release("T3", "m")
+    return b.build()
+
+
+def figure4c_extended() -> Trace:
+    """Figure 4(c) plus a ``z`` access pair visible only through ``E^w_x``."""
+    b = TraceBuilder()
+    b.acquire("T1", "m")
+    b.write("T1", "x")
+    b.write("T1", "z")
+    b.sync("T1", "o")
+    b.sync("T2", "o")
+    b.write("T2", "x")
+    b.sync("T2", "p")
+    b.release("T1", "m")
+    b.sync("T3", "p")
+    b.acquire("T3", "m")
+    b.read("T3", "x")
+    b.release("T3", "m")
+    b.read("T3", "z")
+    return b.build()
+
+
+def figure4d() -> Trace:
+    """Figure 4(d): the read-then-write variant motivating ``E^r_x``."""
+    b = TraceBuilder()
+    b.acquire("T1", "m")
+    b.read("T1", "x")
+    b.sync("T1", "o")
+    b.sync("T2", "o")
+    b.write("T2", "x")
+    b.sync("T2", "p")
+    b.release("T1", "m")
+    b.sync("T3", "p")
+    b.acquire("T3", "m")
+    b.write("T3", "x")
+    b.release("T3", "m")
+    return b.build()
+
+
+def figure4d_extended() -> Trace:
+    """Figure 4(d) plus a ``z`` access pair visible only through ``E^r_x``."""
+    b = TraceBuilder()
+    b.acquire("T1", "m")
+    b.read("T1", "x")
+    b.write("T1", "z")
+    b.sync("T1", "o")
+    b.sync("T2", "o")
+    b.write("T2", "x")
+    b.sync("T2", "p")
+    b.release("T1", "m")
+    b.sync("T3", "p")
+    b.acquire("T3", "m")
+    b.write("T3", "x")
+    b.release("T3", "m")
+    b.read("T3", "z")
+    return b.build()
+
+
+ALL_FIGURES = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4a": figure4a,
+    "figure4b": figure4b,
+    "figure4b_extended": figure4b_extended,
+    "figure4c": figure4c,
+    "figure4c_extended": figure4c_extended,
+    "figure4d": figure4d,
+    "figure4d_extended": figure4d_extended,
+}

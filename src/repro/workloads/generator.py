@@ -1,0 +1,327 @@
+"""Seeded synthetic trace generation from a :class:`WorkloadSpec`.
+
+The generator plays the role of RoadRunner + DaCapo in the paper's
+evaluation (DESIGN.md §2): it produces large, well-formed multithreaded
+execution traces whose *shape* — lock-nesting depth at accesses, same-epoch
+hit rates, sharing structure, planted race patterns — is controlled by the
+spec, so the relative analysis costs the paper measures are reproduced.
+
+Structure of a generated execution:
+
+* a main thread writes read-only "init" variables, forks the workers,
+  occasionally publishes through volatiles, and joins the workers;
+* each worker runs a random sequence of actions: thread-local access
+  bursts, critical-section blocks at a chosen nesting depth over shared
+  variables consistently protected by their lock, init-variable reads, and
+  volatile publish/consume pairs;
+* race patterns (Figure 1-shaped predictable races and plain HB races) are
+  spliced into worker scripts at staggered positions.
+
+Shared variables are partitioned across locks (consistent locking), so all
+non-pattern sharing is race-free under every relation in the family; the
+planted patterns fully determine which analyses report races.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.trace.event import (
+    ACQUIRE,
+    FORK,
+    JOIN,
+    READ,
+    RELEASE,
+    VOLATILE_READ,
+    VOLATILE_WRITE,
+    WRITE,
+    Event,
+)
+from repro.trace.trace import Trace
+from repro.workloads.spec import WorkloadSpec
+
+Step = Tuple[int, int, int]  # (kind, target, site)
+
+
+class _Ids:
+    """Dense id allocation for the generated namespaces."""
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        self.n_threads = spec.threads + 1  # workers + main
+        self.n_locks = spec.locks
+        self.n_vars = 0
+        self.n_volatiles = spec.threads + 1
+        self._sites: Dict[str, int] = {}
+        self.shared = [self._new_var() for _ in range(spec.shared_vars)]
+        self.init_vars = [self._new_var() for _ in range(8)]
+        self.locals = {
+            t: [self._new_var() for _ in range(spec.local_vars)]
+            for t in range(1, self.n_threads)
+        }
+
+    def _new_var(self) -> int:
+        v = self.n_vars
+        self.n_vars += 1
+        return v
+
+    def new_lock(self) -> int:
+        m = self.n_locks
+        self.n_locks += 1
+        return m
+
+    def new_var(self) -> int:
+        return self._new_var()
+
+    def site(self, key: str) -> int:
+        s = self._sites.get(key)
+        if s is None:
+            s = len(self._sites)
+            self._sites[key] = s
+        return s
+
+    def lock_of_var(self, v: int) -> int:
+        """The lock consistently protecting a shared variable."""
+        return v % self.spec.locks
+
+
+def _geometric(rng: random.Random, mean: float) -> int:
+    if mean <= 1.0:
+        return 1
+    p = 1.0 / mean
+    n = 1
+    while rng.random() > p and n < 64:
+        n += 1
+    return n
+
+
+class _WorkerScript:
+    """Builds one worker's step list."""
+
+    def __init__(self, spec: WorkloadSpec, ids: _Ids, tid: int,
+                 rng: random.Random):
+        self.spec = spec
+        self.ids = ids
+        self.tid = tid
+        self.rng = rng
+        self.steps: List[Step] = []
+
+    def generate(self, budget: int) -> List[Step]:
+        while len(self.steps) < budget:
+            r = self.rng.random()
+            if r < self.spec.p_volatile:
+                self._volatile_action()
+            elif r < self.spec.p_volatile + 0.05:
+                self._init_read()
+            elif r < self.spec.p_volatile + 0.05 + self.spec.p_cs:
+                self._critical_section()
+            else:
+                self._local_burst()
+        return self.steps
+
+    # -- actions -----------------------------------------------------------
+    def _burst(self, var: int, tag: str) -> None:
+        n = _geometric(self.rng, self.spec.burst)
+        write_first = self.rng.random() > self.spec.read_fraction
+        for k in range(n):
+            kind = WRITE if (write_first and k == 0) else (
+                WRITE if self.rng.random() > self.spec.read_fraction else READ)
+            name = "wr" if kind == WRITE else "rd"
+            self.steps.append(
+                (kind, var, self.ids.site("{}:{}:{}".format(name, tag, var))))
+
+    def _local_burst(self) -> None:
+        var = self.rng.choice(self.ids.locals[self.tid])
+        self._burst(var, "local")
+
+    def _init_read(self) -> None:
+        var = self.rng.choice(self.ids.init_vars)
+        self.steps.append((READ, var, self.ids.site("rd:init:{}".format(var))))
+
+    def _depth(self) -> int:
+        w1, w2, w3 = self.spec.nesting
+        r = self.rng.random() * (w1 + w2 + w3)
+        if r < w1:
+            return 1
+        if r < w1 + w2:
+            return 2
+        return 3
+
+    def _critical_section(self) -> None:
+        depth = self._depth()
+        locks = sorted(self.rng.sample(range(self.spec.locks),
+                                       min(depth, self.spec.locks)))
+        for m in locks:
+            self.steps.append((ACQUIRE, m, 0))
+        # accesses at full depth, on variables protected by the innermost lock
+        inner = locks[-1]
+        candidates = [v for v in self.ids.shared
+                      if self.ids.lock_of_var(v) == inner]
+        if candidates:
+            for _ in range(self.rng.randint(1, 2)):
+                self._burst(self.rng.choice(candidates), "cs")
+        for m in reversed(locks):
+            self.steps.append((RELEASE, m, 0))
+
+    def _volatile_action(self) -> None:
+        if self.rng.random() < 0.5:
+            v = self.tid  # publish through own volatile
+            self.steps.append(
+                (VOLATILE_WRITE, v, self.ids.site("vwr:{}".format(v))))
+        else:
+            v = self.rng.randrange(self.ids.n_volatiles)
+            self.steps.append(
+                (VOLATILE_READ, v, self.ids.site("vrd:{}".format(v))))
+
+
+Chunk = Tuple[int, List[Step]]  # (worker index, steps emitted atomically)
+
+
+def _pattern_chunks(spec: WorkloadSpec, ids: _Ids,
+                    rng: random.Random, workers: int) -> List[List[Chunk]]:
+    """Build the race-pattern emission plans (see module docstring).
+
+    Each pattern is a list of (worker, steps) chunks that the trace tail
+    emits *in order*, which makes the planted races deterministic: pattern
+    variables and locks are dedicated, so no incidental synchronization
+    from the main program body can order the racing accesses.
+    """
+    patterns: List[List[Chunk]] = []
+    if workers < 2:
+        return patterns
+    for k in range(spec.predictive_races):
+        a, b = _pick_pair(rng, workers)
+        x = ids.new_var()
+        m = ids.new_lock()
+        junk_a, junk_b = ids.new_var(), ids.new_var()
+        gate = ids.new_lock()
+        chunks: List[Chunk] = [
+            # Figure 1's thread 1: the racy read, then an unrelated
+            # critical section on the shared lock (HB-orders, WCP/DC/WDC
+            # do not: the critical sections do not conflict).
+            (a, [(READ, x, ids.site("prace-a:{}".format(k))),
+                 (ACQUIRE, m, 0),
+                 (WRITE, junk_a, ids.site("prace-junk-a:{}".format(k))),
+                 (RELEASE, m, 0)]),
+            (b, [(ACQUIRE, m, 0),
+                 (READ, junk_b, ids.site("prace-junk-b:{}".format(k))),
+                 (RELEASE, m, 0)]),
+        ]
+        for _ in range(spec.dynamic_multiplier):
+            chunks.append(
+                (b, [(ACQUIRE, gate, 0),
+                     (WRITE, x, ids.site("prace-b:{}".format(k))),
+                     (RELEASE, gate, 0)]))
+        patterns.append(chunks)
+    for k in range(spec.hb_races):
+        a, b = _pick_pair(rng, workers)
+        x = ids.new_var()
+        gate_a, gate_b = ids.new_lock(), ids.new_lock()
+        chunks = [(a, [(ACQUIRE, gate_a, 0),
+                       (WRITE, x, ids.site("hbrace-a:{}".format(k))),
+                       (RELEASE, gate_a, 0)])]
+        # Alternate unsynchronized accesses: every access after the first
+        # races, so the dynamic count scales with the multiplier in every
+        # optimization tier (the per-lock "gates" only separate epochs).
+        for r in range(spec.dynamic_multiplier):
+            chunks.append(
+                (b, [(ACQUIRE, gate_b, 0),
+                     (READ, x, ids.site("hbrace-b:{}".format(k))),
+                     (RELEASE, gate_b, 0)]))
+            if r + 1 < spec.dynamic_multiplier:
+                chunks.append(
+                    (a, [(ACQUIRE, gate_a, 0),
+                         (WRITE, x, ids.site("hbrace-a:{}".format(k))),
+                         (RELEASE, gate_a, 0)]))
+        patterns.append(chunks)
+    for k in range(spec.hb_single_races):
+        a, b = _pick_pair(rng, workers)
+        x = ids.new_var()
+        patterns.append([
+            (a, [(WRITE, x, ids.site("hb1race-a:{}".format(k)))]),
+            (b, [(READ, x, ids.site("hb1race-b:{}".format(k)))]),
+        ])
+    return patterns
+
+
+def _pick_pair(rng: random.Random, workers: int) -> Tuple[int, int]:
+    a = rng.randrange(workers)
+    b = rng.randrange(workers)
+    while b == a:
+        b = rng.randrange(workers)
+    return a, b
+
+
+def generate_trace(spec: WorkloadSpec) -> Trace:
+    """Generate a well-formed trace from a workload spec (deterministic
+    in ``spec.seed``)."""
+    rng = random.Random(spec.seed)
+    ids = _Ids(spec)
+    workers = spec.threads
+    per_worker = max((spec.events - 4 * workers - 16) // max(workers, 1), 8)
+    scripts = [
+        _WorkerScript(spec, ids, t, random.Random(rng.randrange(1 << 30)))
+        .generate(per_worker)
+        for t in range(1, workers + 1)
+    ]
+    patterns = _pattern_chunks(spec, ids, rng, workers)
+
+    events: List[Event] = []
+    main = 0
+    for v in ids.init_vars:
+        events.append(Event(main, WRITE, v, ids.site("rd:init-write")))
+    for t in range(1, workers + 1):
+        events.append(Event(main, FORK, t, 0))
+
+    # Interleave worker scripts: random runnable thread, random pace.
+    pointers = [0] * workers
+    held: Dict[int, int] = {}
+    pace = [rng.uniform(0.5, 2.0) for _ in range(workers)]
+    active = [t for t in range(workers) if scripts[t]]
+    while active:
+        weights = [pace[t] for t in active]
+        t = rng.choices(active, weights=weights, k=1)[0]
+        steps = scripts[t]
+        run = _geometric(rng, 3.0)
+        for _ in range(run):
+            p = pointers[t]
+            if p >= len(steps):
+                break
+            kind, target, site = steps[p]
+            if kind == ACQUIRE:
+                holder = held.get(target)
+                if holder is not None and holder != t:
+                    break  # blocked; let another thread run
+                held[target] = t
+            elif kind == RELEASE:
+                held.pop(target, None)
+            events.append(Event(t + 1, kind, target, site))
+            pointers[t] = p + 1
+        active = [u for u in active if pointers[u] < len(scripts[u])]
+        # No deadlock is possible: scripts are lock-balanced and acquire
+        # nested locks in a global order, so some holder always progresses.
+
+    # Emit the race-pattern tails.  Each pattern is emitted contiguously:
+    # interleaving two patterns that share a thread would chain their
+    # synchronization through program order and could (incidentally)
+    # HB-order another pattern's racing accesses, making race counts
+    # nondeterministic.  Pattern order itself is shuffled.
+    rng.shuffle(patterns)
+    for chunks in patterns:
+        for worker, steps in chunks:
+            for kind, target, site in steps:
+                events.append(Event(worker + 1, kind, target, site))
+
+    for t in range(1, workers + 1):
+        events.append(Event(main, JOIN, t, 0))
+
+    return Trace(
+        events,
+        num_threads=ids.n_threads,
+        num_locks=ids.n_locks,
+        num_vars=ids.n_vars,
+        num_volatiles=ids.n_volatiles,
+        num_classes=1,
+        validate=True,
+    )

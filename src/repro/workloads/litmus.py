@@ -1,0 +1,272 @@
+"""Litmus gallery: crafted executions beyond the paper's figures.
+
+Each litmus is a small execution whose per-relation race verdicts are
+known by construction; ``EXPECTED`` maps every litmus to the set of racy
+variables per relation.  They pin down the separations and corner cases of
+the HB ⊇ WCP ⊇ DC ⊇ WDC hierarchy and the analyses' event handling:
+
+* relation separations beyond Figures 1–3 (multi-hop rule (a) chains,
+  rule (b) through nested locks),
+* synchronization-primitive corner cases (wait(), volatile publication
+  chains, class initialization, fork/join trees),
+* metadata corner cases (write-after-shared-reads, read-owned churn,
+  many-reader upgrades).
+
+Tests assert every analysis agrees with ``EXPECTED`` (and with the oracle
+closure) on all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Set
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import Trace
+
+Expected = Dict[str, Set[str]]
+
+
+def _build(fn: Callable[[TraceBuilder], None]) -> Trace:
+    b = TraceBuilder()
+    fn(b)
+    return b.build()
+
+
+# ----------------------------------------------------------------------
+# relation separations
+# ----------------------------------------------------------------------
+
+def rule_a_chain() -> Trace:
+    """A two-hop rule (a) chain orders the racy pair in all predictive
+    relations (and HB): no race anywhere."""
+    def body(b):
+        b.acquire("T1", "m").write("T1", "x").write("T1", "a")
+        b.release("T1", "m")
+        b.acquire("T2", "m").read("T2", "a").release("T2", "m")
+        b.acquire("T2", "n").write("T2", "b").release("T2", "n")
+        b.acquire("T3", "n").read("T3", "b").release("T3", "n")
+        b.read("T3", "x")
+    return _build(body)
+
+
+def hb_only_sync() -> Trace:
+    """Classic Figure 1 shape with the racy access on the *lock user's*
+    side: empty critical sections order only under HB."""
+    def body(b):
+        b.write("T1", "x")
+        b.acquire("T1", "m").release("T1", "m")
+        b.acquire("T2", "m").release("T2", "m")
+        b.read("T2", "x")
+    return _build(body)
+
+
+def wcp_not_dc_via_hb_bridge() -> Trace:
+    """Conflicting critical sections followed by an HB-only bridge: WCP
+    (composing with HB) orders the pair, DC does not (Figure 2's essence
+    with a fork standing in for the second lock)."""
+    def body(b):
+        b.read("T1", "x")
+        b.acquire("T1", "m").write("T1", "y").release("T1", "m")
+        b.acquire("T2", "m").read("T2", "y").release("T2", "m")
+        b.acquire("T2", "n").release("T2", "n")
+        b.acquire("T3", "n").release("T3", "n")
+        b.write("T3", "x")
+    return _build(body)
+
+
+def dc_not_wdc_nested() -> Trace:
+    """Figure 3's rule (b) pattern through *nested* critical sections:
+    DC orders the pair (no race), WDC reports it, and it is not
+    predictable."""
+    def body(b):
+        b.acquire("T1", "m")
+        b.acquire("T1", "q")
+        b.sync("T1", "o")
+        b.release("T1", "q")
+        b.read("T1", "x")
+        b.release("T1", "m")
+        b.sync("T2", "o")
+        b.sync("T2", "p")
+        b.acquire("T3", "m")
+        b.sync("T3", "p")
+        b.release("T3", "m")
+        b.write("T3", "x")
+    return _build(body)
+
+
+def independent_locks() -> Trace:
+    """Same variable consistently protected by two different locks in two
+    thread pairs: the cross-pair accesses race in every relation."""
+    def body(b):
+        b.acquire("T1", "m").write("T1", "x").release("T1", "m")
+        b.acquire("T2", "n").write("T2", "x").release("T2", "n")
+    return _build(body)
+
+
+# ----------------------------------------------------------------------
+# synchronization-primitive corner cases
+# ----------------------------------------------------------------------
+
+def wait_releases_lock() -> Trace:
+    """wait() = release + acquire (§5.1): the waiting thread's lock is
+    genuinely released, so another thread's protected write is ordered
+    only by the lock — reacquisition makes the later read race-free under
+    HB but the accesses stay predictively racy (no conflicting critical
+    sections)."""
+    def body(b):
+        b.read("T1", "x")
+        b.acquire("T1", "m")
+        b.wait("T1", "m")  # release; acquire
+        b.release("T1", "m")
+        b.acquire("T2", "m").release("T2", "m")
+        b.write("T2", "x")
+    return _build(body)
+
+
+def volatile_chain() -> Trace:
+    """Two-hop volatile publication orders in every relation."""
+    def body(b):
+        b.write("T1", "x")
+        b.volatile_write("T1", "g1")
+        b.volatile_read("T2", "g1")
+        b.volatile_write("T2", "g2")
+        b.volatile_read("T3", "g2")
+        b.read("T3", "x")
+    return _build(body)
+
+
+def volatile_read_not_transitive_backwards() -> Trace:
+    """A volatile read does not order the *reader's earlier* events after
+    the writer: those still race."""
+    def body(b):
+        b.volatile_write("T1", "g")
+        b.write("T1", "x")
+        b.volatile_read("T2", "g")
+        b.write("T2", "x")
+    return _build(body)
+
+
+def fork_join_tree() -> Trace:
+    """Parent forks two children, joins both, then reads what they wrote:
+    race-free everywhere; the children race with each other on their
+    shared scratch variable."""
+    def body(b):
+        b.write("T0", "out")
+        b.fork("T0", "T1")
+        b.fork("T0", "T2")
+        b.write("T1", "scratch")
+        b.write("T2", "scratch")
+        b.join("T0", "T1")
+        b.join("T0", "T2")
+        b.read("T0", "scratch")
+    return _build(body)
+
+
+def class_init_once() -> Trace:
+    """Class initialization edge orders the initializer's writes before
+    every later access to the class (§5.1)."""
+    def body(b):
+        b.write("T1", "k_static")
+        b.static_init("T1", "K")
+        b.static_access("T2", "K")
+        b.read("T2", "k_static")
+        b.static_access("T3", "K")
+        b.write("T3", "k_static2")
+    return _build(body)
+
+
+# ----------------------------------------------------------------------
+# metadata corner cases
+# ----------------------------------------------------------------------
+
+def many_readers_then_write() -> Trace:
+    """Four ordered readers upgrade R_x to a vector clock; a properly
+    synchronized writer then checks against all of them: race-free."""
+    def body(b):
+        b.write("T0", "x")
+        b.volatile_write("T0", "g")
+        for reader in ("T1", "T2", "T3", "T4"):
+            b.volatile_read(reader, "g")
+            b.read(reader, "x")
+            b.volatile_write(reader, "done_" + reader)
+        for reader in ("T1", "T2", "T3", "T4"):
+            b.volatile_read("T0", "done_" + reader)
+        b.write("T0", "x")
+    return _build(body)
+
+
+def one_racy_reader_among_many() -> Trace:
+    """Same as above but one reader never signals: only that reader's
+    read races with the final write."""
+    def body(b):
+        b.write("T0", "x")
+        b.volatile_write("T0", "g")
+        for reader in ("T1", "T2", "T3"):
+            b.volatile_read(reader, "g")
+            b.read(reader, "x")
+        for reader in ("T1", "T2"):
+            b.volatile_write(reader, "done_" + reader)
+        for reader in ("T1", "T2"):
+            b.volatile_read("T0", "done_" + reader)
+        b.write("T0", "x")
+    return _build(body)
+
+
+def write_owned_churn() -> Trace:
+    """A thread repeatedly writing its own variable across many epochs
+    stays in the owned fast path and never races."""
+    def body(b):
+        for _ in range(6):
+            b.acquire("T1", "m")
+            b.write("T1", "x")
+            b.release("T1", "m")
+        b.acquire("T2", "m").write("T2", "x").release("T2", "m")
+    return _build(body)
+
+
+#: litmus name -> (builder, expected racy variables per relation)
+LITMUS: Dict[str, Callable[[], Trace]] = {
+    "rule_a_chain": rule_a_chain,
+    "hb_only_sync": hb_only_sync,
+    "wcp_not_dc_via_hb_bridge": wcp_not_dc_via_hb_bridge,
+    "dc_not_wdc_nested": dc_not_wdc_nested,
+    "independent_locks": independent_locks,
+    "wait_releases_lock": wait_releases_lock,
+    "volatile_chain": volatile_chain,
+    "volatile_read_not_transitive_backwards": volatile_read_not_transitive_backwards,
+    "fork_join_tree": fork_join_tree,
+    "class_init_once": class_init_once,
+    "many_readers_then_write": many_readers_then_write,
+    "one_racy_reader_among_many": one_racy_reader_among_many,
+    "write_owned_churn": write_owned_churn,
+}
+
+EXPECTED: Dict[str, Expected] = {
+    "rule_a_chain": {
+        "hb": set(), "wcp": set(), "dc": set(), "wdc": set()},
+    "hb_only_sync": {
+        "hb": set(), "wcp": {"x"}, "dc": {"x"}, "wdc": {"x"}},
+    "wcp_not_dc_via_hb_bridge": {
+        "hb": set(), "wcp": set(), "dc": {"x"}, "wdc": {"x"}},
+    "dc_not_wdc_nested": {
+        "hb": set(), "wcp": set(), "dc": set(), "wdc": {"x"}},
+    "independent_locks": {
+        "hb": {"x"}, "wcp": {"x"}, "dc": {"x"}, "wdc": {"x"}},
+    "wait_releases_lock": {
+        "hb": set(), "wcp": {"x"}, "dc": {"x"}, "wdc": {"x"}},
+    "volatile_chain": {
+        "hb": set(), "wcp": set(), "dc": set(), "wdc": set()},
+    "volatile_read_not_transitive_backwards": {
+        "hb": {"x"}, "wcp": {"x"}, "dc": {"x"}, "wdc": {"x"}},
+    "fork_join_tree": {
+        "hb": {"scratch"}, "wcp": {"scratch"}, "dc": {"scratch"},
+        "wdc": {"scratch"}},
+    "class_init_once": {
+        "hb": set(), "wcp": set(), "dc": set(), "wdc": set()},
+    "many_readers_then_write": {
+        "hb": set(), "wcp": set(), "dc": set(), "wdc": set()},
+    "one_racy_reader_among_many": {
+        "hb": {"x"}, "wcp": {"x"}, "dc": {"x"}, "wdc": {"x"}},
+    "write_owned_churn": {
+        "hb": set(), "wcp": set(), "dc": set(), "wdc": set()},
+}

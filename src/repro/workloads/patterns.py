@@ -1,0 +1,118 @@
+"""Reusable micro-patterns for trace construction.
+
+Each pattern appends a small per-thread event script to a generator plan;
+the interleaver later merges the scripts into a single well-formed trace.
+Patterns are also used directly by tests via :func:`build_pattern_trace`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.trace.builder import TraceBuilder
+from repro.trace.trace import Trace
+
+# A script step is (op, operand, site); operands are symbolic names.
+Step = Tuple[str, str, str]
+
+
+def predictive_race_steps(tag: str, repeats: int = 1
+                          ) -> Tuple[List[Step], List[Step]]:
+    """A Figure 1-shaped predictable race on ``x_<tag>``.
+
+    Thread A reads ``x`` then runs a critical section touching only its own
+    junk variable; thread B later runs a critical section on the same lock
+    touching a *different* junk variable and then writes ``x``.  The
+    release–acquire pair orders the accesses under HB, but no relation in
+    the predictive family orders them (the critical sections do not
+    conflict), so WCP/DC/WDC all report the race and HB misses it.
+    """
+    x = "xp_" + tag
+    m = "mp_" + tag
+    a_steps: List[Step] = [("rd", x, "prace-a:" + tag)]
+    for r in range(repeats):
+        a_steps += [("acq", m, ""), ("wr", "ya_" + tag, "junk-a:" + tag),
+                    ("rel", m, "")]
+    b_steps: List[Step] = []
+    for r in range(repeats):
+        b_steps += [("acq", m, ""), ("rd", "yb_" + tag, "junk-b:" + tag),
+                    ("rel", m, "")]
+    b_steps.append(("wr", x, "prace-b:" + tag))
+    return a_steps, b_steps
+
+
+def hb_race_steps(tag: str) -> Tuple[List[Step], List[Step]]:
+    """A plain unsynchronized race on ``x_<tag>`` (every analysis finds it)."""
+    x = "xh_" + tag
+    return ([("wr", x, "hbrace-a:" + tag)], [("rd", x, "hbrace-b:" + tag)])
+
+
+def protected_counter_steps(tag: str, lock: str, rounds: int) -> List[Step]:
+    """A lock-protected read-modify-write loop (race-free everywhere)."""
+    steps: List[Step] = []
+    x = "c_" + tag
+    for _ in range(rounds):
+        steps += [("acq", lock, ""), ("rd", x, "ctr-rd:" + tag),
+                  ("wr", x, "ctr-wr:" + tag), ("rel", lock, "")]
+    return steps
+
+
+def build_pattern_trace(per_thread: List[List[Step]],
+                        interleave: str = "round-robin") -> Trace:
+    """Materialize per-thread step scripts into a trace.
+
+    ``interleave`` is ``"round-robin"`` (one step per thread per turn) or
+    ``"sequential"`` (thread 0's script, then thread 1's, ...).  Round-robin
+    skips steps that would acquire a held lock until it frees up.
+    """
+    b = TraceBuilder()
+    threads = ["T{}".format(k) for k in range(len(per_thread))]
+    emit = _make_emitter(b)
+    if interleave == "sequential":
+        for tname, steps in zip(threads, per_thread):
+            for step in steps:
+                emit(tname, step)
+        return b.build()
+    pointers = [0] * len(per_thread)
+    held = {}
+    progress = True
+    while progress:
+        progress = False
+        for k, steps in enumerate(per_thread):
+            p = pointers[k]
+            if p >= len(steps):
+                continue
+            op, operand, _site = steps[p]
+            if op == "acq" and operand in held:
+                continue
+            if op == "acq":
+                held[operand] = k
+            elif op == "rel":
+                held.pop(operand, None)
+            emit(threads[k], steps[p])
+            pointers[k] += 1
+            progress = True
+    if any(p < len(s) for p, s in zip(pointers, per_thread)):
+        raise ValueError("pattern scripts deadlocked during interleaving")
+    return b.build()
+
+
+def _make_emitter(b: TraceBuilder):
+    def emit(tname: str, step: Step) -> None:
+        op, operand, site = step
+        site_arg = site or None
+        if op == "rd":
+            b.read(tname, operand, site=site_arg)
+        elif op == "wr":
+            b.write(tname, operand, site=site_arg)
+        elif op == "acq":
+            b.acquire(tname, operand)
+        elif op == "rel":
+            b.release(tname, operand)
+        elif op == "vrd":
+            b.volatile_read(tname, operand, site=site_arg)
+        elif op == "vwr":
+            b.volatile_write(tname, operand, site=site_arg)
+        else:
+            raise ValueError("unknown op {!r}".format(op))
+    return emit

@@ -1,0 +1,78 @@
+"""Workload specifications for the synthetic benchmark generator.
+
+A :class:`WorkloadSpec` captures the trace-shape parameters that drive the
+relative costs the paper measures (Table 2's run-time characteristics):
+thread count, how many accesses execute under how many nested locks, how
+often accesses repeat within an epoch (same-epoch hit rate), read/write
+mix, and how many race patterns of each kind are planted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass
+class WorkloadSpec:
+    """Shape parameters for one synthetic program (see module docstring).
+
+    Attributes
+    ----------
+    name:
+        Program name (the DaCapo analogs use the paper's names).
+    threads:
+        Worker thread count, *excluding* the main thread that forks and
+        joins them (paper Table 2 counts total created threads).
+    events:
+        Approximate total event budget across all threads.
+    locks / shared_vars / local_vars:
+        Namespace sizes; each shared variable is protected by exactly one
+        lock (consistent locking — protected sharing is race-free under
+        every relation in the family).
+    p_cs:
+        Probability that an access burst runs inside a critical section
+        (drives Table 2's "locks held at NSEAs ≥ 1").
+    nesting:
+        Distribution over critical-section depth 1/2/3 given ``p_cs``
+        (drives the ≥ 2 and ≥ 3 columns).
+    read_fraction:
+        Fraction of accesses that are reads.
+    burst:
+        Mean same-variable access-run length (drives the same-epoch hit
+        rate: total events vs NSEAs in Table 2).
+    p_volatile:
+        Probability of a volatile publish/consume action.
+    predictive_races / hb_races / hb_single_races:
+        Planted Figure 1-style patterns (detected by WCP/DC/WDC but not
+        HB) and plain unsynchronized races (detected by everything).
+        ``hb_races`` alternate accesses (two racy program locations each,
+        dynamic count scaling with the multiplier); ``hb_single_races``
+        race exactly once at one location.
+    dynamic_multiplier:
+        How many times each planted racy access repeats (dynamic vs static
+        race counts, Table 7).
+    """
+
+    name: str
+    threads: int
+    events: int
+    locks: int = 8
+    shared_vars: int = 64
+    local_vars: int = 16
+    p_cs: float = 0.3
+    nesting: Tuple[float, float, float] = (0.9, 0.08, 0.02)
+    read_fraction: float = 0.7
+    burst: float = 6.0
+    p_volatile: float = 0.02
+    predictive_races: int = 0
+    hb_races: int = 0
+    hb_single_races: int = 0
+    dynamic_multiplier: int = 1
+    seed: int = 0
+
+    def scaled(self, factor: float) -> "WorkloadSpec":
+        """A copy with the event budget scaled by ``factor``."""
+        out = WorkloadSpec(**self.__dict__)
+        out.events = max(int(self.events * factor), 500)
+        return out

@@ -1,0 +1,117 @@
+"""Run-time characteristics of a trace (paper Table 2).
+
+Computes total events, non-same-epoch accesses (NSEAs), and the fraction
+of NSEAs executing while holding at least 1/2/3 locks — the quantities the
+paper uses to explain which programs benefit most from SmartTrack's CCS
+optimizations (§5.3).
+
+"Same-epoch" reproduces FTO's fast-path semantics: a thread's repeated
+access to a variable within one epoch (no interposed synchronization by
+that thread, and no interposed conflicting state change) is skipped by the
+analyses, so only NSEAs pay for race checks and rule (a).  The tracker
+below mirrors the epoch state machine of Algorithm 2's same-epoch cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.clocks.vector_clock import VectorClock
+from repro.trace.event import (
+    ACQUIRE,
+    FORK,
+    READ,
+    RELEASE,
+    STATIC_INIT,
+    VOLATILE_READ,
+    VOLATILE_WRITE,
+    WRITE,
+)
+from repro.trace.trace import Trace
+
+
+class TraceCharacteristics:
+    """Table 2 row for one trace."""
+
+    def __init__(self, name: str, threads_total: int, threads_peak: int,
+                 events: int, nseas: int, held_ge: Dict[int, int]):
+        self.name = name
+        self.threads_total = threads_total
+        self.threads_peak = threads_peak
+        self.events = events
+        self.nseas = nseas
+        self.held_ge = held_ge  # depth -> NSEAs holding >= depth locks
+
+    def pct_ge(self, depth: int) -> float:
+        """% of NSEAs holding at least ``depth`` locks."""
+        if self.nseas == 0:
+            return 0.0
+        return 100.0 * self.held_ge.get(depth, 0) / self.nseas
+
+
+def characterize(trace: Trace, name: str = "") -> TraceCharacteristics:
+    """Compute the Table 2 characteristics of a trace."""
+    width = trace.num_threads
+    clock = [1] * width  # per-thread epoch counter (bumped like FTO's)
+    read_meta: Dict[int, Union[tuple, list, None]] = {}
+    write_meta: Dict[int, Optional[tuple]] = {}
+    depth = [0] * width
+    nseas = 0
+    held_ge = {1: 0, 2: 0, 3: 0}
+    threads_seen = set()
+    live = set()
+    peak = 0
+
+    for e in trace.events:
+        t = e.tid
+        if t not in threads_seen:
+            threads_seen.add(t)
+            live.add(t)
+            peak = max(peak, len(live))
+        k = e.kind
+        if k == READ or k == WRITE:
+            epoch = (clock[t], t)
+            r = read_meta.get(e.target)
+            if k == READ:
+                if r == epoch:
+                    continue
+                if type(r) is list and t < len(r) and r[t] == clock[t]:
+                    continue
+            else:
+                if write_meta.get(e.target) == epoch:
+                    continue
+            nseas += 1
+            d = depth[t]
+            for level in (1, 2, 3):
+                if d >= level:
+                    held_ge[level] += 1
+            if k == WRITE:
+                write_meta[e.target] = epoch
+                read_meta[e.target] = epoch
+            else:
+                if type(r) is list:
+                    r[t] = clock[t]
+                elif r is None or r[1] == t:
+                    read_meta[e.target] = epoch
+                else:
+                    vc = [0] * width
+                    vc[r[1]] = r[0]
+                    vc[t] = clock[t]
+                    read_meta[e.target] = vc
+        elif k == ACQUIRE:
+            depth[t] += 1
+            clock[t] += 1
+        elif k == RELEASE:
+            depth[t] -= 1
+            clock[t] += 1
+        elif k in (VOLATILE_READ, VOLATILE_WRITE, FORK, STATIC_INIT):
+            clock[t] += 1
+
+    return TraceCharacteristics(
+        name=name,
+        threads_total=len(threads_seen),
+        threads_peak=peak,
+        events=len(trace),
+        nseas=nseas,
+        held_ge=held_ge,
+    )

@@ -1,0 +1,96 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.trace.event import (
+    ACQUIRE,
+    READ,
+    RELEASE,
+    VOLATILE_READ,
+    VOLATILE_WRITE,
+    WRITE,
+    Event,
+)
+from repro.trace.trace import Trace
+
+ALL_ANALYSES = [
+    "unopt-hb", "ft2", "fto-hb",
+    "unopt-wcp", "fto-wcp", "st-wcp",
+    "unopt-dc", "fto-dc", "st-dc",
+    "unopt-wdc", "fto-wdc", "st-wdc",
+]
+
+REL_ANALYSES = {
+    "hb": ["unopt-hb", "ft2", "fto-hb"],
+    "wcp": ["unopt-wcp", "fto-wcp", "st-wcp"],
+    "dc": ["unopt-dc", "fto-dc", "st-dc"],
+    "wdc": ["unopt-wdc", "fto-wdc", "st-wdc"],
+}
+
+
+def random_trace(rng: random.Random, n_events: int = 50, threads: int = 4,
+                 locks: int = 3, nvars: int = 4, nvol: int = 2,
+                 volatiles: bool = True, tame: bool = False) -> Trace:
+    """A random well-formed trace for differential tests.
+
+    ``tame`` restricts shared accesses to lock-protected ones (plus
+    per-thread private variables), which makes race-free traces likely.
+    """
+    events: List[Event] = []
+    held: Dict[int, List[int]] = {t: [] for t in range(threads)}
+    for _ in range(n_events):
+        t = rng.randrange(threads)
+        if tame:
+            if held[t]:
+                choices = ["rd", "wr", "rd", "wr", "local"]
+            else:
+                choices = ["local", "local"]
+        else:
+            choices = ["rd", "wr", "rd", "wr"]
+        if volatiles:
+            choices += ["vrd", "vwr"]
+        free = [m for m in range(locks)
+                if all(m not in h for h in held.values())]
+        if free and len(held[t]) < 3:
+            choices += ["acq", "acq"]
+        if held[t]:
+            choices += ["rel", "rel"]
+        op = rng.choice(choices)
+        if op == "acq":
+            m = rng.choice(free)
+            held[t].append(m)
+            events.append(Event(t, ACQUIRE, m, 100 + m))
+        elif op == "rel":
+            m = held[t].pop()
+            events.append(Event(t, RELEASE, m, 200 + m))
+        elif op == "vrd":
+            events.append(Event(t, VOLATILE_READ, rng.randrange(nvol), 300))
+        elif op == "vwr":
+            events.append(Event(t, VOLATILE_WRITE, rng.randrange(nvol), 310))
+        elif op == "local":
+            # a per-thread private variable: never races
+            x = nvars + t
+            kind = READ if rng.random() < 0.6 else WRITE
+            events.append(Event(t, kind, x, 400 + t))
+        else:
+            # shared variables are consistently protected in tame mode
+            if tame:
+                x = held[t][-1] % nvars
+            else:
+                x = rng.randrange(nvars)
+            kind = READ if op == "rd" else WRITE
+            events.append(Event(t, kind, x, (10 if op == "rd" else 20) + x))
+    for t in range(threads):
+        while held[t]:
+            events.append(Event(t, RELEASE, held[t].pop(), 250))
+    return Trace(events)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

@@ -1,0 +1,95 @@
+"""Public API tests and hypothesis property tests over random traces."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.registry import ANALYSIS_NAMES, create, relation_of, tier_of
+from repro.oracle import compute_closure
+from repro.oracle.closure import racy_vars
+from repro.workloads import figure1
+from tests.conftest import ALL_ANALYSES, random_trace
+
+
+class TestPublicApi:
+    def test_detect_races_default(self):
+        report = repro.detect_races(figure1())
+        assert report.analysis_name == "st-wdc"
+        assert report.dynamic_count == 1
+
+    def test_all_registry_names_instantiate(self):
+        trace = figure1()
+        for name in ANALYSIS_NAMES:
+            analysis = create(name, trace)
+            report = analysis.run()
+            assert report.events_processed == len(trace)
+
+    def test_unknown_analysis_rejected(self):
+        with pytest.raises(ValueError, match="unknown analysis"):
+            repro.detect_races(figure1(), "magic")
+
+    def test_relation_and_tier_metadata(self):
+        assert relation_of("st-dc") == "dc"
+        assert relation_of("unopt-wdc-g") == "wdc"
+        assert tier_of("ft2") == "epoch"
+        assert tier_of("fto-wcp") == "fto"
+        assert tier_of("unopt-hb") == "unopt"
+        assert tier_of("st-wdc") == "st"
+
+    def test_main_matrix_is_eleven_analyses(self):
+        assert len(repro.MAIN_MATRIX) == 11
+
+    def test_vindicate_first_race_api(self):
+        result = repro.vindicate_first_race(figure1())
+        assert result.vindicated
+
+    def test_report_repr_and_records(self):
+        report = repro.detect_races(figure1(), "st-dc")
+        assert "st-dc" in repr(report)
+        record = report.first_race
+        assert record.access == "write"
+        assert "RaceRecord" in repr(record)
+        assert report.races_on(record.var) == [record]
+
+    def test_footprint_sampling(self):
+        report = repro.detect_races(figure1(), "unopt-dc",
+                                    sample_footprint_every=1)
+        assert report.peak_footprint_bytes > 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000),
+       st.sampled_from(ALL_ANALYSES))
+def test_analyses_never_crash_and_match_oracle_on_race_existence(seed, name):
+    trace = random_trace(random.Random(seed), n_events=40)
+    report = create(name, trace).run()
+    relation = relation_of(name)
+    oracle = racy_vars(trace, compute_closure(trace, relation))
+    assert report.racy_vars == oracle
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_race_reports_are_ordered_and_within_bounds(seed):
+    trace = random_trace(random.Random(seed), n_events=40)
+    report = repro.detect_races(trace, "st-dc")
+    indices = [r.index for r in report.races]
+    assert indices == sorted(indices)
+    for r in report.races:
+        assert 0 <= r.index < len(trace)
+        event = trace.events[r.index]
+        assert event.target == r.var
+        assert event.tid == r.tid
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=100_000))
+def test_footprints_nonnegative_and_monotone_with_sampling(seed):
+    trace = random_trace(random.Random(seed), n_events=60)
+    for name in ("unopt-dc", "st-wdc"):
+        analysis = create(name, trace)
+        report = analysis.run(sample_every=8)
+        assert report.peak_footprint_bytes >= 0

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.trace import dump_trace
+from repro.workloads import figure1
+
+
+@pytest.fixture
+def fig1_path(tmp_path):
+    path = tmp_path / "fig1.trace"
+    with open(path, "w") as fp:
+        dump_trace(figure1(), fp)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_default_analysis_finds_predictive_race(self, fig1_path, capsys):
+        code = main(["analyze", fig1_path])
+        out = capsys.readouterr().out
+        assert code == 1  # races found -> nonzero exit
+        assert "st-wdc" in out
+        assert "1 static / 1 dynamic" in out
+
+    def test_hb_misses_it(self, fig1_path, capsys):
+        code = main(["analyze", fig1_path, "-a", "fto-hb"])
+        assert code == 0
+        assert "0 static / 0 dynamic" in capsys.readouterr().out
+
+    def test_multiple_analyses(self, fig1_path, capsys):
+        main(["analyze", fig1_path, "-a", "fto-hb", "-a", "st-dc"])
+        out = capsys.readouterr().out
+        assert "fto-hb" in out and "st-dc" in out
+
+    def test_vindicate_flag(self, fig1_path, capsys):
+        main(["analyze", fig1_path, "--vindicate"])
+        assert "vindicated" in capsys.readouterr().out
+
+    def test_memory_flag(self, fig1_path, capsys):
+        main(["analyze", fig1_path, "--memory"])
+        assert "peak metadata" in capsys.readouterr().out
+
+    def test_unknown_analysis_rejected(self, fig1_path):
+        with pytest.raises(SystemExit):
+            main(["analyze", fig1_path, "-a", "nope"])
+
+
+class TestGenerateAndCharacterize:
+    def test_generate_then_characterize(self, tmp_path, capsys):
+        out_path = str(tmp_path / "pmd.trace")
+        code = main(["generate", "--program", "pmd", "--scale", "0.1",
+                     "-o", out_path])
+        assert code == 0
+        assert os.path.exists(out_path)
+        code = main(["characterize", out_path])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NSEAs" in out
+
+    def test_generated_trace_analyzable(self, tmp_path, capsys):
+        out_path = str(tmp_path / "xalan.trace")
+        main(["generate", "--program", "xalan", "--scale", "0.1",
+              "-o", out_path])
+        code = main(["analyze", out_path, "-a", "st-dc"])
+        assert code == 1  # xalan has planted races
+
+
+class TestTables:
+    def test_tables_subcommand(self, tmp_path, capsys):
+        code = main(["tables", "--table", "2", "--scale", "0.05",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "table2.txt").exists()

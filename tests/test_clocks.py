@@ -1,0 +1,122 @@
+"""Unit and property tests for vector clocks and epochs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import INF, VectorClock, epoch, epoch_leq
+from repro.clocks.epoch import clock_of, tid_of
+
+
+def vc(*values):
+    return VectorClock.of(values)
+
+
+class TestVectorClockBasics:
+    def test_zeros(self):
+        c = VectorClock.zeros(4)
+        assert list(c) == [0, 0, 0, 0]
+
+    def test_copy_is_independent(self):
+        a = vc(1, 2, 3)
+        b = a.copy()
+        b[0] = 99
+        assert a[0] == 1
+
+    def test_join_pointwise_max(self):
+        a = vc(1, 5, 3)
+        a.join(vc(2, 4, 3))
+        assert list(a) == [2, 5, 3]
+
+    def test_joined_does_not_mutate(self):
+        a = vc(1, 2)
+        out = a.joined(vc(3, 0))
+        assert list(a) == [1, 2]
+        assert list(out) == [3, 2]
+
+    def test_leq(self):
+        assert vc(1, 2).leq(vc(1, 2))
+        assert vc(0, 2).leq(vc(1, 2))
+        assert not vc(2, 0).leq(vc(1, 2))
+
+    def test_leq_except_skips_component(self):
+        assert vc(9, 1).leq_except(vc(0, 2), skip=0)
+        assert not vc(9, 3).leq_except(vc(0, 2), skip=0)
+
+    def test_assign_updates_in_place_through_alias(self):
+        a = vc(0, 0)
+        alias = a
+        a.assign(vc(7, 8))
+        assert list(alias) == [7, 8]
+
+    def test_str_shows_inf(self):
+        c = vc(1, INF)
+        assert "inf" in str(c)
+
+
+class TestEpochs:
+    def test_accessors(self):
+        e = epoch(5, 2)
+        assert clock_of(e) == 5
+        assert tid_of(e) == 2
+
+    def test_bottom_before_everything(self):
+        assert epoch_leq(None, vc(0, 0), 0)
+
+    def test_cross_thread_comparison(self):
+        c = vc(0, 7)
+        assert epoch_leq(epoch(7, 1), c, 0)
+        assert not epoch_leq(epoch(8, 1), c, 0)
+
+    def test_own_thread_auto_passes(self):
+        # Same-thread events are PO-ordered; the own component never
+        # carries the comparison (required for WCP, see DESIGN.md §4).
+        c = vc(0, 0)
+        assert epoch_leq(epoch(99, 0), c, 0)
+
+    def test_inf_never_ordered(self):
+        c = vc(5, 5)
+        assert not epoch_leq(epoch(INF, 1), c, 0)
+
+
+small_vcs = st.lists(st.integers(min_value=0, max_value=50),
+                     min_size=3, max_size=3).map(VectorClock.of)
+
+
+@settings(max_examples=200, deadline=None)
+@given(small_vcs, small_vcs)
+def test_join_commutative(a, b):
+    assert list(a.joined(b)) == list(b.joined(a))
+
+
+@settings(max_examples=200, deadline=None)
+@given(small_vcs, small_vcs, small_vcs)
+def test_join_associative(a, b, c):
+    assert list(a.joined(b).joined(c)) == list(a.joined(b.joined(c)))
+
+
+@settings(max_examples=200, deadline=None)
+@given(small_vcs)
+def test_join_idempotent(a):
+    assert list(a.joined(a)) == list(a)
+
+
+@settings(max_examples=200, deadline=None)
+@given(small_vcs, small_vcs)
+def test_join_is_lub(a, b):
+    j = a.joined(b)
+    assert a.leq(j) and b.leq(j)
+
+
+@settings(max_examples=200, deadline=None)
+@given(small_vcs, small_vcs)
+def test_leq_antisymmetry(a, b):
+    if a.leq(b) and b.leq(a):
+        assert list(a) == list(b)
+
+
+@settings(max_examples=200, deadline=None)
+@given(small_vcs, small_vcs, small_vcs)
+def test_leq_transitivity(a, b, c):
+    if a.leq(b) and b.leq(c):
+        assert a.leq(c)

@@ -1,0 +1,98 @@
+"""Differential tests: every analysis against the oracle closure.
+
+The oracle is the executable specification (DESIGN.md §6); up to each
+variable's first race, every analysis must agree with it exactly — on
+which variables race and on the event where the first race of each
+variable is detected.
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.oracle import compute_closure
+from repro.oracle.closure import race_pairs
+from tests.conftest import REL_ANALYSES, random_trace
+
+
+def first_per_var(pairs, trace):
+    out = {}
+    for _, j in pairs:
+        v = trace.events[j].target
+        if v not in out or j < out[v]:
+            out[v] = j
+    return out
+
+
+@pytest.mark.parametrize("relation", ["hb", "wcp", "dc", "wdc"])
+def test_analyses_match_oracle(relation, rng):
+    for trial in range(60):
+        trace = random_trace(rng, n_events=50)
+        closure = compute_closure(trace, relation)
+        oracle_first = first_per_var(race_pairs(trace, closure), trace)
+        for name in REL_ANALYSES[relation]:
+            report = repro.detect_races(trace, name)
+            mine = {}
+            for r in report.races:
+                mine.setdefault(r.var, r.index)
+            assert set(mine) == set(oracle_first), (trial, name)
+            for v, j in mine.items():
+                assert j == oracle_first[v], (trial, name, v)
+
+
+def test_relation_nesting_of_reported_races(rng):
+    # Weaker relations report races on a superset of variables.
+    for _ in range(30):
+        trace = random_trace(rng, n_events=50)
+        racy = {}
+        for relation in ("hb", "wcp", "dc", "wdc"):
+            # use FTO tier as representative
+            name = REL_ANALYSES[relation][1]
+            racy[relation] = repro.detect_races(trace, name).racy_vars
+        assert racy["hb"] <= racy["wcp"] <= racy["dc"] <= racy["wdc"]
+
+
+def test_graph_variants_report_same_races(rng):
+    for _ in range(25):
+        trace = random_trace(rng, n_events=50)
+        for base, with_g in (("unopt-dc", "unopt-dc-g"),
+                             ("unopt-wdc", "unopt-wdc-g")):
+            a = repro.detect_races(trace, base)
+            b = repro.detect_races(trace, with_g)
+            assert [(r.index, r.var) for r in a.races] == \
+                [(r.index, r.var) for r in b.races]
+
+
+def test_graph_records_rule_a_edges(rng):
+    from repro.core.unopt import UnoptDC
+    for _ in range(10):
+        trace = random_trace(rng, n_events=60)
+        analysis = UnoptDC(trace, build_graph=True)
+        analysis.run()
+        for src, dst, label in analysis.graph.edges:
+            assert src < dst
+            assert label in ("rule-a", "rule-b")
+
+
+def test_deterministic_given_same_trace(rng):
+    trace = random_trace(rng, n_events=80)
+    for name in ("st-dc", "unopt-wcp", "fto-wdc"):
+        a = repro.detect_races(trace, name)
+        b = repro.detect_races(trace, name)
+        assert [(r.index, r.var) for r in a.races] == \
+            [(r.index, r.var) for r in b.races]
+
+
+def test_forked_threads_handled(rng):
+    # fork/join via the workload generator path
+    from repro.workloads import generate_trace, WorkloadSpec
+    spec = WorkloadSpec(name="t", threads=4, events=1500, hb_races=2,
+                        predictive_races=2, seed=9)
+    trace = generate_trace(spec)
+    for relation in ("hb", "dc"):
+        closure = compute_closure(trace, relation)
+        oracle_vars = {trace.events[j].target
+                       for _, j in race_pairs(trace, closure)}
+        for name in REL_ANALYSES[relation]:
+            assert repro.detect_races(trace, name).racy_vars == oracle_vars

@@ -1,0 +1,147 @@
+"""Tests for the harness: stats, measurement, the cost model, and tables."""
+
+import pytest
+
+from repro.harness.measure import Measurements, measure_once, uninstrumented_time
+from repro.harness.model import APP_NS, modeled_nanos, modeled_slowdown
+from repro.harness.stats import confidence_interval, fmt_factor, geomean, mean
+from repro.workloads import dacapo_trace, generate_trace, WorkloadSpec
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+        assert mean([]) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+        assert geomean([]) == 0.0
+
+    def test_confidence_interval(self):
+        m, half = confidence_interval([10.0, 12.0, 11.0])
+        assert m == pytest.approx(11.0)
+        assert half > 0
+
+    def test_confidence_interval_single_sample(self):
+        assert confidence_interval([5.0]) == (5.0, 0.0)
+
+    def test_fmt_factor(self):
+        assert fmt_factor(4.23) == "4.2x"
+        assert fmt_factor(26.4) == "26x"
+        assert fmt_factor(110) == "110x"
+        assert fmt_factor(0) == "-"
+
+
+@pytest.fixture(scope="module")
+def tiny_trace():
+    return generate_trace(WorkloadSpec(
+        name="tiny", threads=3, events=1200, hb_races=1, seed=1))
+
+
+class TestMeasure:
+    def test_uninstrumented_time_positive(self, tiny_trace):
+        assert uninstrumented_time(tiny_trace) > 0
+
+    def test_measure_once(self, tiny_trace):
+        result = measure_once(tiny_trace, "fto-hb", "tiny")
+        assert result.slowdown > 1.0
+        assert result.memory_factor > 1.0
+        assert result.report.dynamic_count >= 1
+
+    def test_measurements_memoize(self, monkeypatch):
+        meas = Measurements(scale=0.05)
+        a = meas.cell("pmd", "fto-hb")
+        b = meas.cell("pmd", "fto-hb")
+        assert a is b
+
+    def test_trials(self):
+        meas = Measurements(scale=0.05, trials=2)
+        assert len(meas.runs("pmd", "fto-hb")) == 2
+
+
+class TestCostModel:
+    def test_all_programs_calibrated(self):
+        from repro.workloads.dacapo import program_names
+        assert set(APP_NS) == set(program_names())
+
+    def test_ordering_within_relations(self, tiny_trace):
+        # The model must preserve the paper's tier ordering.
+        for rel in ("wcp", "dc", "wdc"):
+            unopt = modeled_slowdown(tiny_trace, "unopt-" + rel)
+            fto = modeled_slowdown(tiny_trace, "fto-" + rel)
+            st = modeled_slowdown(tiny_trace, "st-" + rel)
+            assert unopt > fto > st, rel
+
+    def test_hb_cheaper_than_predictive(self, tiny_trace):
+        assert modeled_slowdown(tiny_trace, "fto-hb") < \
+            modeled_slowdown(tiny_trace, "fto-dc")
+
+    def test_graph_costs_more(self, tiny_trace):
+        assert modeled_slowdown(tiny_trace, "unopt-dc-g") > \
+            modeled_slowdown(tiny_trace, "unopt-dc")
+
+    def test_wdc_cheapest_predictive(self, tiny_trace):
+        assert modeled_nanos(tiny_trace, "st-wdc") < \
+            modeled_nanos(tiny_trace, "st-dc")
+
+    def test_geomeans_within_factor_two_of_paper(self):
+        # Table 4 comparison: every modeled geomean within 2x of the paper.
+        from repro.core.registry import BY_RELATION
+        from repro.harness.tables import PAPER_TABLE4
+        from repro.workloads.dacapo import program_names
+        tiers = ["unopt", "fto", "st"]
+        for (rel, tier), paper in PAPER_TABLE4["time"].items():
+            name = dict(zip(tiers, BY_RELATION[rel]))[tier]
+            values = [modeled_slowdown(dacapo_trace(p, scale=0.25), name, p)
+                      for p in program_names()]
+            g = geomean(values)
+            assert paper / 2 < g < paper * 2, (rel, tier, g, paper)
+
+
+class TestTables:
+    @pytest.fixture(scope="class")
+    def meas(self):
+        return Measurements(scale=0.05)
+
+    def test_table2(self, meas):
+        from repro.harness.tables import table2
+        text, data = table2(meas)
+        assert "avrora" in text
+        assert len(data["rows"]) == 10
+
+    def test_table4_structure(self, meas):
+        from repro.harness.tables import headline_summary, table4
+        text, data = table4(meas)
+        assert ("hb", "unopt") in data["time"]
+        assert ("hb", "st") not in data["time"]
+        summary, vals = headline_summary(data)
+        assert "WDC" in summary
+        assert vals["dc"]["fto_speedup"] > 0
+
+    def test_table7_counts(self, meas):
+        from repro.harness.tables import table7
+        text, data = table7(meas)
+        assert "xalan" in text
+        st, dy = data["xalan"][("dc", "fto")]
+        assert dy >= st >= 1
+
+    def test_table12_percentages(self, meas):
+        from repro.harness.tables import table12
+        text, data = table12(meas)
+        reads = data["h2"]["read"]
+        pct = [v for k, v in reads.items() if k != "total"]
+        assert sum(pct) == pytest.approx(100.0, abs=0.5)
+
+    def test_ci_table(self):
+        from repro.harness.tables import table_ci
+        meas = Measurements(scale=0.03, trials=2)
+        text, data = table_ci(meas, "time")
+        assert "±" in text
+
+    def test_runner_cli(self, tmp_path, capsys):
+        from repro.harness.runner import main
+        code = main(["--table", "2", "--scale", "0.05",
+                     "--out", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "table2.txt").exists()
+        assert "Table 2" in capsys.readouterr().out

@@ -1,0 +1,177 @@
+"""Unit tests for the HB analyses: Unopt-HB, FT2, FTO-HB."""
+
+import pytest
+
+import repro
+from repro.core.fasttrack import FastTrack2, FTOHb
+from repro.core.hb_vc import UnoptHB
+from repro.clocks.vector_clock import VectorClock
+from repro.trace import TraceBuilder
+
+
+def build(fn):
+    b = TraceBuilder()
+    fn(b)
+    return b.build()
+
+
+def run(cls, trace):
+    analysis = cls(trace)
+    report = analysis.run()
+    return analysis, report
+
+
+@pytest.mark.parametrize("cls", [UnoptHB, FastTrack2, FTOHb])
+class TestCommonHbBehaviour:
+    def test_write_write_race(self, cls):
+        trace = build(lambda b: b.write("T1", "x").write("T2", "x"))
+        _, report = run(cls, trace)
+        assert report.dynamic_count == 1
+        assert report.races[0].index == 1
+
+    def test_write_read_race(self, cls):
+        trace = build(lambda b: b.write("T1", "x").read("T2", "x"))
+        _, report = run(cls, trace)
+        assert report.dynamic_count == 1
+
+    def test_read_write_race(self, cls):
+        trace = build(lambda b: b.read("T1", "x").write("T2", "x"))
+        _, report = run(cls, trace)
+        assert report.dynamic_count == 1
+
+    def test_two_reads_no_race(self, cls):
+        trace = build(lambda b: b.read("T1", "x").read("T2", "x"))
+        _, report = run(cls, trace)
+        assert report.dynamic_count == 0
+
+    def test_lock_protection(self, cls):
+        def body(b):
+            b.acquire("T1", "m").write("T1", "x").release("T1", "m")
+            b.acquire("T2", "m").write("T2", "x").release("T2", "m")
+        _, report = run(cls, build(body))
+        assert report.dynamic_count == 0
+
+    def test_fork_orders(self, cls):
+        trace = build(lambda b: b.write("T1", "x").fork("T1", "T2")
+                      .write("T2", "x"))
+        _, report = run(cls, trace)
+        assert report.dynamic_count == 0
+
+    def test_join_orders(self, cls):
+        trace = build(lambda b: b.write("T2", "x").join("T1", "T2")
+                      .write("T1", "x"))
+        _, report = run(cls, trace)
+        assert report.dynamic_count == 0
+
+    def test_volatile_orders(self, cls):
+        def body(b):
+            b.write("T1", "x").volatile_write("T1", "g")
+            b.volatile_read("T2", "g").write("T2", "x")
+        _, report = run(cls, build(body))
+        assert report.dynamic_count == 0
+
+    def test_volatile_read_does_not_order_later_events(self, cls):
+        # The reader's *later* accesses are not ordered after the writer.
+        def body(b):
+            b.volatile_write("T1", "g").write("T1", "x")
+            b.volatile_read("T2", "g").write("T2", "x")
+        _, report = run(cls, build(body))
+        assert report.dynamic_count == 1
+
+    def test_class_init_orders(self, cls):
+        def body(b):
+            b.write("T1", "x").static_init("T1", "K")
+            b.static_access("T2", "K").write("T2", "x")
+        _, report = run(cls, build(body))
+        assert report.dynamic_count == 0
+
+    def test_analysis_continues_after_race(self, cls):
+        def body(b):
+            b.write("T1", "x").write("T2", "x")
+            b.write("T1", "y").write("T2", "y")
+        _, report = run(cls, build(body))
+        assert report.dynamic_count == 2
+        assert report.static_count == 2
+
+    def test_same_site_counts_once_statically(self, cls):
+        def body(b):
+            b.write("T1", "x", site="s")
+            b.write("T2", "x", site="s")
+            b.acquire("T2", "m").release("T2", "m")  # new epoch
+            b.write("T3", "x", site="s")
+        _, report = run(cls, build(body))
+        assert report.static_count == 1
+        assert report.dynamic_count >= 1
+
+
+class TestEpochTransitions:
+    def test_ft2_read_share_creates_vector_clock(self):
+        def body(b):
+            b.read("T1", "x").read("T2", "x")
+        analysis, _ = run(FastTrack2, build(body))
+        assert isinstance(analysis._read[0], VectorClock)
+
+    def test_ft2_ordered_reads_stay_epoch(self):
+        def body(b):
+            b.read("T1", "x").volatile_write("T1", "g")
+            b.volatile_read("T2", "g").read("T2", "x")
+        analysis, _ = run(FastTrack2, build(body))
+        assert isinstance(analysis._read[0], tuple)
+
+    def test_ft2_write_shared_resets_read_metadata(self):
+        def body(b):
+            b.read("T1", "x").read("T2", "x")
+            b.write("T1", "x")
+        analysis, _ = run(FastTrack2, build(body))
+        assert analysis._read[0] is None
+
+    def test_fto_write_updates_read_metadata(self):
+        # FTO's R_x represents reads *and* writes (§4.1).
+        trace = build(lambda b: b.write("T1", "x"))
+        analysis, _ = run(FTOHb, trace)
+        assert analysis._read[0] == analysis._write[0]
+
+    def test_fto_owned_cases_skip_checks_but_keep_soundness(self):
+        # Racy variable then same-thread re-access: the first race is
+        # reported; the owned re-access is not a new dynamic race.
+        def body(b):
+            b.write("T1", "x")
+            b.write("T2", "x")  # race
+            b.acquire("T2", "m").release("T2", "m")
+            b.write("T2", "x")  # owned: no new check
+        _, report = run(FTOHb, build(body))
+        assert report.dynamic_count == 1
+
+    def test_same_epoch_skip(self):
+        def body(b):
+            for _ in range(5):
+                b.read("T1", "x")
+        analysis, report = run(FTOHb, build(body))
+        assert report.dynamic_count == 0
+        # only the first read is a non-same-epoch access
+        assert analysis.case_counts.get("read_exclusive", 0) == 1
+
+    def test_epoch_ends_at_release(self):
+        def body(b):
+            b.read("T1", "x")
+            b.acquire("T1", "m").release("T1", "m")
+            b.read("T1", "x")
+        analysis, _ = run(FTOHb, build(body))
+        assert analysis.case_counts.get("read_owned", 0) == 1
+
+
+class TestUnoptHbInternals:
+    def test_metadata_is_vector_clocks(self):
+        def body(b):
+            b.read("T1", "x").read("T2", "x").write("T2", "y")
+        analysis, _ = run(UnoptHB, build(body))
+        assert isinstance(analysis._read[0], VectorClock)
+        assert isinstance(analysis._write[1], VectorClock)
+
+    def test_footprint_grows_with_variables(self):
+        small = build(lambda b: b.read("T1", "x"))
+        big = build(lambda b: [b.read("T1", "v{}".format(k))
+                               for k in range(50)][-1])
+        a_small, _ = run(UnoptHB, small)
+        a_big, _ = run(UnoptHB, big)
+        assert a_big.footprint_bytes() > a_small.footprint_bytes()

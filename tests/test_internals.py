@@ -1,0 +1,207 @@
+"""White-box tests of under-the-hood machinery: MultiCheck, the CS-list
+lifecycle, vindication's closure steps, and oracle internals."""
+
+import pytest
+
+from repro.clocks.vector_clock import INF, VectorClock
+from repro.core.cslist import CSEntry, open_entry
+from repro.core.smarttrack import SmartTrackDC
+from repro.oracle.closure import _critical_sections, _hard_edges, _rule_a_edges
+from repro.trace import TraceBuilder
+from repro.workloads import figure4a
+
+
+def build(fn):
+    b = TraceBuilder()
+    fn(b)
+    return b.build()
+
+
+class TestMultiCheck:
+    def _analysis(self, held=(0,)):
+        trace = build(lambda b: b.read("T1", "x").read("T2", "x"))
+        analysis = SmartTrackDC(trace)
+        analysis.held[0] = list(held)
+        return analysis
+
+    def _entry(self, lock, owner, clock_values):
+        entry = CSEntry(VectorClock.of(clock_values), lock)
+        return entry
+
+    def test_empty_list_runs_race_check_only(self):
+        analysis = self._analysis()
+        residual, raced = analysis._multicheck(0, (), 1, (5, 1))
+        assert residual is None
+        assert raced  # thread 0 knows nothing about thread 1
+
+    def test_ordered_outermost_subsumes_everything(self):
+        analysis = self._analysis()
+        analysis.cc[0][1] = 10
+        outer = self._entry(7, 1, [0, 4])  # released at u-time 4 <= 10
+        inner = self._entry(8, 1, [0, INF])
+        residual, raced = analysis._multicheck(0, (outer, inner), 1, (99, 1))
+        assert residual is None and not raced
+
+    def test_held_lock_joins_and_stops(self):
+        analysis = self._analysis(held=(7,))
+        release_time = VectorClock.of([0, 6])
+        outer = CSEntry(release_time, 7)
+        residual, raced = analysis._multicheck(0, (outer,), 1, (99, 1))
+        assert not raced  # conflict join subsumes the race check
+        assert analysis.cc[0][1] == 6  # rule (a) ordering added
+
+    def test_unordered_unheld_goes_to_residual(self):
+        analysis = self._analysis(held=())
+        entry = self._entry(9, 1, [0, INF])  # open critical section
+        analysis.cc[0][1] = 100
+        residual, raced = analysis._multicheck(0, (entry,), 1, (5, 1))
+        assert residual == {9: entry.clock}
+        assert not raced  # epoch 5@T1 <= 100 passes
+
+    def test_outer_residual_kept_when_inner_matches(self):
+        analysis = self._analysis(held=(3,))
+        outer = self._entry(9, 1, [0, INF])  # unordered, unheld
+        inner = CSEntry(VectorClock.of([0, 2]), 3)  # held -> join
+        residual, raced = analysis._multicheck(0, (outer, inner), 1, (99, 1))
+        assert 9 in residual
+        assert not raced
+
+
+class TestCSLifecycle:
+    def test_open_entry_is_infinite(self):
+        entry = open_entry(width=3, t=1, m=5)
+        assert entry.lock == 5
+        assert entry.clock[1] == INF
+        assert entry.clock[0] == 0
+
+    def test_snapshot_shares_clock_references(self):
+        trace = figure4a()
+        analysis = SmartTrackDC(trace)
+        analysis.run()
+        # the last write's CS list entry clocks were finalized in place
+        for cs in analysis._lw.values():
+            for entry in cs:
+                assert all(v < INF for v in entry.clock)
+
+    def test_stack_tracks_nesting(self):
+        def body(b):
+            b.acquire("T1", "a").acquire("T1", "b").write("T1", "x")
+        analysis = SmartTrackDC(build(body))
+        analysis.run()
+        assert [e.lock for e in analysis._stack[0]] == [0, 1]
+        assert analysis._stack[0][1].clock[0] == INF  # still open
+
+
+class TestOracleInternals:
+    def test_critical_sections_record_nested_accesses_per_lock(self):
+        def body(b):
+            b.acquire("T1", "m").acquire("T1", "n").write("T1", "x")
+            b.release("T1", "n").release("T1", "m")
+        sections = _critical_sections(build(body))
+        assert set(sections) == {0, 1}
+        for lock, cs_list in sections.items():
+            assert cs_list[0].writes == {0: [2]}, lock
+
+    def test_rule_a_edges_cross_thread_only(self):
+        def body(b):
+            b.acquire("T1", "m").write("T1", "x").release("T1", "m")
+            b.acquire("T1", "m").read("T1", "x").release("T1", "m")
+        assert _rule_a_edges(build(body)) == []
+
+    def test_rule_a_edge_targets_conflicting_access(self):
+        def body(b):
+            b.acquire("T1", "m").write("T1", "x").release("T1", "m")
+            b.acquire("T2", "m").read("T2", "y").read("T2", "x")
+            b.release("T2", "m")
+        edges = _rule_a_edges(build(body))
+        assert edges == [(2, 5)]  # rel(m)T1 -> rd(x)T2, not rd(y)
+
+    def test_hard_edges_volatile_pairs(self):
+        def body(b):
+            b.volatile_write("T1", "v")
+            b.volatile_read("T2", "v")
+            b.volatile_write("T3", "v")
+        edges = set(_hard_edges(build(body)))
+        assert (0, 1) in edges  # wr -> rd
+        assert (0, 2) in edges  # wr -> wr
+        assert (1, 2) in edges  # rd -> wr
+        assert (1, 0) not in edges
+
+
+class TestVindicationInternals:
+    def test_candidate_pairs_latest_first(self):
+        from repro.vindication.vindicate import candidate_pairs
+
+        def body(b):
+            b.write("T1", "x")
+            b.acquire("T1", "g").release("T1", "g")  # epoch break
+            b.write("T1", "x")
+            b.read("T2", "x")
+        trace = build(body)
+        import repro
+        report = repro.detect_races(trace, "st-wdc")
+        pairs = candidate_pairs(trace, report.first_race)
+        assert pairs[0][0] > pairs[1][0]  # most recent partner first
+
+    def test_lock_closure_pulls_in_earlier_release(self):
+        from repro.vindication.vindicate import _construct
+
+        # T3 depends on T2's write (last-writer), which drags T2's acquire
+        # into the must-set; the lock closure must then complete T2's
+        # critical section before T3's acquire of the same lock.
+        def body(b):
+            b.read("T1", "x")
+            b.acquire("T2", "m")
+            b.write("T2", "y")
+            b.release("T2", "m")
+            b.read("T3", "y")
+            b.acquire("T3", "m")
+            b.write("T3", "x")
+        trace = build(body)
+        witness = _construct(trace, (0, 6), None)
+        assert witness is not None
+        assert 3 in witness  # rel(m) by T2 included
+        assert witness.index(3) < witness.index(5)  # before T3's acquire
+
+    def test_construct_fails_when_blocking_cs_never_releases(self):
+        from repro.vindication.vindicate import _construct
+
+        def body(b):
+            b.read("T1", "x")
+            b.acquire("T2", "m")
+            b.write("T2", "y")  # T2 never releases m
+            b.acquire("T3", "n")
+            b.release("T3", "n")
+            b.write("T3", "x")
+        trace = build(body)
+        # make T3's acquire depend on m being free: rebuild with same lock
+        def body2(b):
+            b.read("T1", "x")
+            b.acquire("T2", "m")
+            b.write("T2", "y")
+            b.acquire("T3", "m")  # would deadlock: m never released
+            b.release("T3", "m")
+            b.write("T3", "x")
+        with pytest.raises(Exception):
+            body2_trace = build(body2)  # ill-formed: m already held
+        witness = _construct(trace, (0, 5), None)
+        assert witness is not None  # the n-critical-section variant is fine
+
+
+class TestCharacterizeEdgeCases:
+    def test_empty_trace(self):
+        from repro.trace.trace import Trace
+        from repro.workloads.stats import characterize
+        ch = characterize(Trace([], num_threads=1, num_locks=1, num_vars=1,
+                                num_volatiles=1, num_classes=1))
+        assert ch.events == 0 and ch.nseas == 0
+        assert ch.pct_ge(1) == 0.0
+
+    def test_write_then_read_same_epoch(self):
+        from repro.workloads.stats import characterize
+
+        def body(b):
+            b.write("T1", "x")
+            b.read("T1", "x")  # same epoch: the write covers it
+        ch = characterize(build(body))
+        assert ch.nseas == 1

@@ -1,0 +1,51 @@
+"""The litmus gallery: every crafted execution behaves as constructed,
+under the oracle and under every analysis."""
+
+import pytest
+
+import repro
+from repro.oracle import compute_closure, racy_vars
+from repro.workloads.litmus import EXPECTED, LITMUS
+from tests.conftest import REL_ANALYSES
+
+
+def names(trace, vars_):
+    return {trace.name_of("var", v) for v in vars_}
+
+
+@pytest.mark.parametrize("litmus", sorted(LITMUS))
+@pytest.mark.parametrize("relation", ["hb", "wcp", "dc", "wdc"])
+def test_oracle_matches_expected(litmus, relation):
+    trace = LITMUS[litmus]()
+    closure = compute_closure(trace, relation)
+    assert names(trace, racy_vars(trace, closure)) == \
+        EXPECTED[litmus][relation], (litmus, relation)
+
+
+@pytest.mark.parametrize("litmus", sorted(LITMUS))
+@pytest.mark.parametrize("relation", ["hb", "wcp", "dc", "wdc"])
+def test_analyses_match_expected(litmus, relation):
+    trace = LITMUS[litmus]()
+    for name in REL_ANALYSES[relation]:
+        report = repro.detect_races(trace, name)
+        assert names(trace, report.racy_vars) == \
+            EXPECTED[litmus][relation], (litmus, relation, name)
+
+
+def test_expected_sets_nest_across_relations():
+    for litmus, expected in EXPECTED.items():
+        assert expected["hb"] <= expected["wcp"] <= expected["dc"] \
+            <= expected["wdc"], litmus
+
+
+def test_dc_not_wdc_nested_is_not_predictable():
+    from repro.oracle import has_predictable_race
+    trace = LITMUS["dc_not_wdc_nested"]()
+    assert not has_predictable_race(trace)
+
+
+def test_predictive_litmus_races_are_predictable():
+    from repro.oracle import has_predictable_race
+    for litmus in ("hb_only_sync", "wait_releases_lock",
+                   "independent_locks"):
+        assert has_predictable_race(LITMUS[litmus]()), litmus

@@ -1,0 +1,228 @@
+"""Tests for the oracle closure and the predictable-race search."""
+
+import pytest
+
+from repro.oracle import (
+    check_predicted_trace,
+    compute_closure,
+    find_witness,
+    has_predictable_race,
+    predictable_race_pairs,
+    search_witness,
+)
+from repro.oracle.closure import first_race, race_pairs
+from repro.trace import TraceBuilder
+
+
+def build(fn):
+    b = TraceBuilder()
+    fn(b)
+    return b.build()
+
+
+class TestHBClosure:
+    def test_program_order(self):
+        trace = build(lambda b: b.read("T1", "x").write("T1", "x"))
+        cl = compute_closure(trace, "hb")
+        assert cl.ordered(0, 1)
+
+    def test_release_acquire_edge(self):
+        def body(b):
+            b.write("T1", "x").acquire("T1", "m").release("T1", "m")
+            b.acquire("T2", "m").release("T2", "m").write("T2", "x")
+        cl = compute_closure(build(body), "hb")
+        assert cl.ordered(0, 5)
+
+    def test_unrelated_locks_do_not_order(self):
+        def body(b):
+            b.write("T1", "x").acquire("T1", "m").release("T1", "m")
+            b.acquire("T2", "n").release("T2", "n").write("T2", "x")
+        cl = compute_closure(build(body), "hb")
+        assert not cl.ordered(0, 5)
+
+    def test_fork_orders_parent_before_child(self):
+        def body(b):
+            b.write("T1", "x").fork("T1", "T2").write("T2", "x")
+        cl = compute_closure(build(body), "hb")
+        assert cl.ordered(0, 2)
+
+    def test_join_orders_child_before_joiner(self):
+        def body(b):
+            b.write("T2", "x").join("T1", "T2").write("T1", "x")
+        cl = compute_closure(build(body), "hb")
+        assert cl.ordered(0, 2)
+
+    def test_volatile_write_read_orders(self):
+        def body(b):
+            b.write("T1", "x").volatile_write("T1", "v")
+            b.volatile_read("T2", "v").write("T2", "x")
+        cl = compute_closure(build(body), "hb")
+        assert cl.ordered(0, 3)
+
+    def test_class_init_orders(self):
+        def body(b):
+            b.write("T1", "x").static_init("T1", "K")
+            b.static_access("T2", "K").write("T2", "x")
+        cl = compute_closure(build(body), "hb")
+        assert cl.ordered(0, 3)
+
+
+class TestPredictiveClosures:
+    def test_rule_a_orders_release_to_conflicting_access(self):
+        def body(b):
+            b.acquire("T1", "m").write("T1", "x").release("T1", "m")
+            b.acquire("T2", "m").read("T2", "x").release("T2", "m")
+        trace = build(body)
+        for rel in ("wcp", "dc", "wdc"):
+            cl = compute_closure(trace, rel)
+            assert cl.ordered(2, 4), rel  # rel(m)T1 before rd(x)T2
+            assert not race_pairs(trace, cl)
+
+    def test_non_conflicting_critical_sections_do_not_order(self):
+        def body(b):
+            b.read("T1", "x")
+            b.acquire("T1", "m").write("T1", "y").release("T1", "m")
+            b.acquire("T2", "m").read("T2", "z").release("T2", "m")
+            b.write("T2", "x")
+        trace = build(body)
+        for rel in ("wcp", "dc", "wdc"):
+            cl = compute_closure(trace, rel)
+            assert not cl.ordered(0, 7), rel
+
+    def test_wcp_composes_with_hb_but_dc_does_not(self):
+        # Figure 2's skeleton: the ordering chain needs HB composition.
+        from repro.workloads import figure2
+        trace = figure2()
+        wcp = compute_closure(trace, "wcp")
+        dc = compute_closure(trace, "dc")
+        assert wcp.ordered(0, 11)  # rd(x)T1 WCP-before wr(x)T3
+        assert not dc.ordered(0, 11)
+
+    def test_rule_b_fixpoint(self):
+        from repro.workloads import figure3
+        trace = figure3()
+        dc = compute_closure(trace, "dc")
+        wdc = compute_closure(trace, "wdc")
+        rd_x = next(i for i, e in enumerate(trace.events)
+                    if e.kind == 0 and trace.name_of("var", e.target) == "x")
+        wr_x = next(i for i, e in enumerate(trace.events)
+                    if e.kind == 1 and trace.name_of("var", e.target) == "x")
+        assert dc.ordered(rd_x, wr_x)
+        assert not wdc.ordered(rd_x, wr_x)
+
+    def test_open_critical_section_is_second_position_only(self):
+        def body(b):
+            b.acquire("T1", "m").write("T1", "x").release("T1", "m")
+            b.acquire("T2", "m").read("T2", "x")  # never released
+        trace = build(body)
+        cl = compute_closure(trace, "wdc")
+        assert cl.ordered(2, 4)  # rel(m)T1 before the read in the open CS
+
+    def test_relation_nesting_on_race_sets(self, rng):
+        from tests.conftest import random_trace
+        for _ in range(30):
+            trace = random_trace(rng, n_events=40)
+            racy = {}
+            for rel in ("hb", "wcp", "dc", "wdc"):
+                cl = compute_closure(trace, rel)
+                racy[rel] = {trace.events[j].target
+                             for _, j in race_pairs(trace, cl)}
+            assert racy["hb"] <= racy["wcp"] <= racy["dc"] <= racy["wdc"]
+
+    def test_first_race_picks_earliest_second_access(self):
+        def body(b):
+            b.write("T1", "x").write("T1", "y")
+            b.read("T2", "y").read("T2", "x")
+        trace = build(body)
+        cl = compute_closure(trace, "hb")
+        assert first_race(trace, cl) == (1, 2)
+
+    def test_unknown_relation_rejected(self):
+        trace = build(lambda b: b.read("T1", "x"))
+        with pytest.raises(ValueError, match="unknown relation"):
+            compute_closure(trace, "cp")
+
+
+class TestPredictableSearch:
+    def test_simple_unsynchronized_race(self):
+        def body(b):
+            b.write("T1", "x").read("T2", "x")
+        trace = build(body)
+        witness = find_witness(trace, (0, 1))
+        assert witness is not None
+        assert check_predicted_trace(trace, witness, require_race_pair=(0, 1))
+
+    def test_lock_protected_accesses_not_predictable(self):
+        def body(b):
+            b.acquire("T1", "m").write("T1", "x").release("T1", "m")
+            b.acquire("T2", "m").write("T2", "x").release("T2", "m")
+        trace = build(body)
+        witness, exhausted = search_witness(trace, (1, 4))
+        assert witness is None and exhausted
+
+    def test_read_keeps_last_writer(self):
+        # T2's read saw T1's first write; a predicted trace may not place
+        # the second write in between.
+        def body(b):
+            b.write("T1", "x", site="w1")
+            b.volatile_write("T1", "g")
+            b.volatile_read("T2", "g")
+            b.read("T2", "x")
+            b.write("T1", "x", site="w2")
+        trace = build(body)
+        # (3, 4): rd(x)T2 vs the second wr(x)T1 - adjacent is possible by
+        # scheduling the read first.
+        witness = find_witness(trace, (3, 4))
+        assert witness is not None
+        assert check_predicted_trace(trace, witness, require_race_pair=(3, 4))
+
+    def test_fork_gates_child_events(self):
+        def body(b):
+            b.write("T1", "x").fork("T1", "T2").read("T2", "x")
+        trace = build(body)
+        witness, exhausted = search_witness(trace, (0, 2))
+        assert witness is None and exhausted
+
+    def test_join_requires_child_completion(self):
+        def body(b):
+            b.write("T2", "x").join("T1", "T2").read("T1", "x")
+        trace = build(body)
+        witness, exhausted = search_witness(trace, (0, 2))
+        assert witness is None and exhausted
+
+    def test_figure1_witness_matches_paper(self):
+        from repro.workloads import figure1
+        trace = figure1()
+        pairs = predictable_race_pairs(trace)
+        assert (0, 7) in pairs
+
+    def test_two_reads_never_race(self):
+        def body(b):
+            b.read("T1", "x").read("T2", "x")
+        trace = build(body)
+        assert find_witness(trace, (0, 1)) is None
+
+    def test_checker_rejects_po_violation(self):
+        def body(b):
+            b.read("T1", "x").write("T1", "y")
+        trace = build(body)
+        assert not check_predicted_trace(trace, [1, 0])
+
+    def test_checker_rejects_bad_locking(self):
+        def body(b):
+            b.acquire("T1", "m")
+            b.acquire("T2", "n")
+        trace = build(body)
+        assert check_predicted_trace(trace, [0, 1])
+        assert not check_predicted_trace(trace, [0, 0])
+
+    def test_checker_rejects_changed_last_writer(self):
+        def body(b):
+            b.write("T1", "x")
+            b.write("T2", "x")
+            b.volatile_write("T2", "g")
+            b.volatile_read("T1", "g")
+            b.read("T1", "x")  # read T2's write in the original
+        trace = build(body)
+        # Omitting T2's write changes the read's last writer.
+        assert not check_predicted_trace(trace, [0, 2, 3, 4])

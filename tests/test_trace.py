@@ -1,0 +1,217 @@
+"""Tests for events, traces, well-formedness, the builder, and the format."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import (
+    ACQUIRE,
+    READ,
+    RELEASE,
+    Trace,
+    TraceBuilder,
+    WRITE,
+    WellFormednessError,
+    dumps_trace,
+    loads_trace,
+)
+from repro.trace.event import Event, conflicts
+from repro.trace.format import TraceFormatError
+
+
+class TestEvents:
+    def test_repr(self):
+        e = Event(1, READ, 3, 7)
+        assert "T1" in repr(e) and "rd" in repr(e)
+
+    def test_equality_and_hash(self):
+        assert Event(0, READ, 1, 2) == Event(0, READ, 1, 2)
+        assert Event(0, READ, 1, 2) != Event(0, WRITE, 1, 2)
+        assert hash(Event(0, READ, 1, 2)) == hash(Event(0, READ, 1, 2))
+
+    def test_conflicts_requires_write_and_cross_thread(self):
+        rd0 = Event(0, READ, 5)
+        rd1 = Event(1, READ, 5)
+        wr1 = Event(1, WRITE, 5)
+        wr1_other_var = Event(1, WRITE, 6)
+        assert conflicts(rd0, wr1)
+        assert conflicts(wr1, rd0)
+        assert not conflicts(rd0, rd1)  # two reads never conflict
+        assert not conflicts(rd0, wr1_other_var)  # different variables
+        assert not conflicts(Event(0, WRITE, 5), Event(0, WRITE, 5))  # same thread
+
+
+class TestWellFormedness:
+    def test_reentrant_acquire_rejected(self):
+        events = [Event(0, ACQUIRE, 0), Event(0, ACQUIRE, 0)]
+        with pytest.raises(WellFormednessError, match="re-entrant"):
+            Trace(events)
+
+    def test_acquire_of_held_lock_rejected(self):
+        events = [Event(0, ACQUIRE, 0), Event(1, ACQUIRE, 0)]
+        with pytest.raises(WellFormednessError, match="already held"):
+            Trace(events)
+
+    def test_release_without_hold_rejected(self):
+        with pytest.raises(WellFormednessError, match="does not hold"):
+            Trace([Event(0, RELEASE, 0)])
+
+    def test_fork_of_existing_thread_rejected(self):
+        from repro.trace.event import FORK
+        events = [Event(1, READ, 0), Event(0, FORK, 1)]
+        with pytest.raises(WellFormednessError, match="already exists"):
+            Trace(events)
+
+    def test_action_after_join_rejected(self):
+        from repro.trace.event import JOIN
+        events = [Event(0, JOIN, 1), Event(1, READ, 0)]
+        with pytest.raises(WellFormednessError, match="after being joined"):
+            Trace(events)
+
+    def test_valid_nesting_accepted(self):
+        events = [Event(0, ACQUIRE, 0), Event(0, ACQUIRE, 1),
+                  Event(0, WRITE, 0), Event(0, RELEASE, 1),
+                  Event(0, RELEASE, 0)]
+        trace = Trace(events)
+        assert len(trace) == 5
+
+    def test_non_lifo_release_accepted(self):
+        events = [Event(0, ACQUIRE, 0), Event(0, ACQUIRE, 1),
+                  Event(0, RELEASE, 0), Event(0, RELEASE, 1)]
+        assert len(Trace(events)) == 4
+
+    def test_open_critical_section_at_end_accepted(self):
+        assert len(Trace([Event(0, ACQUIRE, 0), Event(0, WRITE, 0)])) == 2
+
+
+class TestTraceConveniences:
+    def test_dimensions_derived(self):
+        trace = Trace([Event(2, WRITE, 7), Event(0, ACQUIRE, 3),
+                       Event(0, RELEASE, 3)])
+        assert trace.num_threads == 3
+        assert trace.num_vars == 8
+        assert trace.num_locks == 4
+
+    def test_thread_events(self):
+        trace = Trace([Event(0, READ, 0), Event(1, READ, 0),
+                       Event(0, WRITE, 0)])
+        assert trace.thread_events(0) == [0, 2]
+
+    def test_counts_by_kind(self):
+        trace = Trace([Event(0, READ, 0), Event(0, READ, 1),
+                       Event(0, WRITE, 0)])
+        assert trace.counts_by_kind() == {"rd": 2, "wr": 1}
+
+    def test_program_state_baseline_positive(self):
+        trace = Trace([Event(0, READ, 0)])
+        assert trace.program_state_bytes() > 0
+        assert trace.storage_bytes() == 96
+
+
+class TestBuilder:
+    def test_interns_names(self):
+        b = TraceBuilder()
+        b.read("T1", "x").write("T2", "x")
+        trace = b.build()
+        assert trace.num_threads == 2
+        assert trace.num_vars == 1
+        assert trace.name_of("var", 0) == "x"
+
+    def test_sync_shorthand(self):
+        b = TraceBuilder()
+        b.sync("T1", "o")
+        trace = b.build()
+        kinds = [e.kind for e in trace.events]
+        assert kinds == [ACQUIRE, READ, WRITE, RELEASE]
+        assert trace.name_of("var", 0) == "oVar"
+
+    def test_wait_is_release_acquire(self):
+        b = TraceBuilder()
+        b.acquire("T1", "m").wait("T1", "m").release("T1", "m")
+        kinds = [e.kind for e in b.build().events]
+        assert kinds == [ACQUIRE, RELEASE, ACQUIRE, RELEASE]
+
+    def test_distinct_sites_per_location(self):
+        b = TraceBuilder()
+        b.read("T1", "x")
+        b.read("T1", "x")
+        b.read("T2", "x")
+        events = b.build().events
+        assert events[0].site == events[1].site
+        assert events[0].site != events[2].site
+
+    def test_explicit_site_shared(self):
+        b = TraceBuilder()
+        b.read("T1", "x", site="loop")
+        b.read("T2", "x", site="loop")
+        events = b.build().events
+        assert events[0].site == events[1].site
+
+    def test_fork_join_volatiles_statics(self):
+        b = TraceBuilder()
+        b.fork("T0", "T1")
+        b.volatile_write("T1", "v")
+        b.volatile_read("T0", "v")
+        b.static_init("T0", "K")
+        b.static_access("T1", "K")
+        b.join("T0", "T1")
+        trace = b.build()
+        assert len(trace) == 6
+        assert trace.num_volatiles == 1
+        assert trace.num_classes == 1
+
+
+class TestFormat:
+    def test_round_trip(self):
+        b = TraceBuilder()
+        b.read("T1", "x").acquire("T1", "m").write("T1", "y")
+        b.release("T1", "m").fork("T1", "T2").write("T2", "x")
+        trace = b.build()
+        text = dumps_trace(trace)
+        back = loads_trace(text)
+        assert len(back) == len(trace)
+        for a, b_ in zip(trace.events, back.events):
+            assert (a.tid, a.kind, a.target, a.site) == \
+                (b_.tid, b_.kind, b_.target, b_.site)
+
+    def test_comments_and_blank_lines_ignored(self):
+        trace = loads_trace("# header\n\nT0 rd x0 @5\n")
+        assert len(trace) == 1
+        assert trace.events[0].site == 5
+
+    def test_bad_operation_rejected(self):
+        with pytest.raises(TraceFormatError, match="unknown operation"):
+            loads_trace("T0 frobnicate x0\n")
+
+    def test_bad_id_rejected(self):
+        with pytest.raises(TraceFormatError, match="bad id"):
+            loads_trace("T0 rd xyz\n")
+
+    def test_bad_field_count_rejected(self):
+        with pytest.raises(TraceFormatError, match="expected"):
+            loads_trace("T0 rd\n")
+
+    def test_file_round_trip(self, tmp_path):
+        from repro.trace import dump_trace, load_trace
+        b = TraceBuilder()
+        b.write("T0", "x").read("T1", "x")
+        trace = b.build()
+        path = tmp_path / "trace.txt"
+        with open(path, "w") as fp:
+            dump_trace(trace, fp)
+        back = load_trace(str(path))
+        assert len(back) == 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_format_round_trip_random(seed):
+    import random as _random
+    from tests.conftest import random_trace
+
+    trace = random_trace(_random.Random(seed), n_events=30)
+    back = loads_trace(dumps_trace(trace))
+    assert [(e.tid, e.kind, e.target) for e in back.events] == \
+        [(e.tid, e.kind, e.target) for e in trace.events]
