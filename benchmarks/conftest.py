@@ -6,6 +6,12 @@ each module writes its regenerated table into ``bench_results/``.
 
 Workload scale defaults to 0.5 of the calibrated event budgets; set
 ``REPRO_BENCH_SCALE`` (e.g. ``=1.0``) for full-size runs.
+
+``bench_*.py`` modules don't match pytest's default ``test_*`` pattern;
+the ``pytest_collect_file`` hook below collects them — but only when the
+invocation explicitly targets the benchmarks (``python -m pytest
+benchmarks -q`` or a single ``bench_*.py`` path), so the plain tier-1
+test run never drags the benchmark suite in.
 """
 
 import os
@@ -13,6 +19,34 @@ import os
 import pytest
 
 from repro.harness.measure import Measurements
+
+
+def _benchmarks_requested(config) -> bool:
+    """True only when a positional arg targets the benchmarks dir or a
+    bench_*.py file — option values like ``-k bench_foo`` don't count."""
+    for arg in config.invocation_params.args:
+        arg = str(arg)
+        if arg.startswith("-"):
+            continue
+        path = arg.split("::")[0]
+        if "benchmarks" in path.replace(os.sep, "/").split("/"):
+            return True
+        base = os.path.basename(path)
+        if base.startswith("bench_") and base.endswith(".py"):
+            return True
+    return False
+
+
+def pytest_collect_file(file_path, parent):
+    if (file_path.suffix == ".py" and file_path.name.startswith("bench_")
+            and _benchmarks_requested(parent.config)):
+        # an explicitly named bench_*.py is collected by pytest itself;
+        # collecting it here too would run every test twice
+        if any(os.path.basename(str(arg).split("::")[0]) == file_path.name
+               for arg in parent.config.invocation_params.args):
+            return None
+        return pytest.Module.from_parent(parent, path=file_path)
+    return None
 
 
 def bench_scale() -> float:

@@ -23,11 +23,19 @@ inventory.
 from __future__ import annotations
 
 from repro.core.base import Analysis, RaceRecord, RaceReport
+from repro.core.engine import MultiResult, MultiRunner, run_analyses, run_stream
 from repro.core.registry import ANALYSIS_NAMES, MAIN_MATRIX, create, relation_of, tier_of
 from repro.trace.builder import TraceBuilder
 from repro.trace.event import Event
-from repro.trace.format import dump_trace, dumps_trace, load_trace, loads_trace
-from repro.trace.trace import Trace, WellFormednessError
+from repro.trace.format import (
+    TraceFormatError,
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    stream_trace,
+)
+from repro.trace.trace import Trace, TraceInfo, WellFormednessError
 
 __version__ = "1.0.0"
 
@@ -36,18 +44,27 @@ __all__ = [
     "Analysis",
     "Event",
     "MAIN_MATRIX",
+    "MultiResult",
+    "MultiRunner",
     "RaceRecord",
     "RaceReport",
     "Trace",
     "TraceBuilder",
+    "TraceFormatError",
+    "TraceInfo",
     "WellFormednessError",
     "create",
     "detect_races",
+    "detect_races_multi",
+    "detect_races_stream",
     "dump_trace",
     "dumps_trace",
     "load_trace",
     "loads_trace",
     "relation_of",
+    "run_analyses",
+    "run_stream",
+    "stream_trace",
     "tier_of",
     "vindicate_first_race",
 ]
@@ -61,6 +78,31 @@ def detect_races(trace: Trace, analysis: str = "st-wdc",
     default is SmartTrack-WDC, the paper's cheapest predictive analysis.
     """
     return create(analysis, trace).run(sample_every=sample_footprint_every)
+
+
+def detect_races_multi(trace: Trace, analyses=None,
+                       sample_footprint_every: int = 0) -> MultiResult:
+    """Run several analyses over one iteration of the trace.
+
+    ``analyses`` is a sequence of registry names (default: the paper's
+    eleven-configuration :data:`MAIN_MATRIX`).  All analyses share a
+    single pass over the events (see :class:`repro.core.engine.MultiRunner`).
+    """
+    return run_analyses(trace, list(analyses or MAIN_MATRIX),
+                        sample_every=sample_footprint_every)
+
+
+def detect_races_stream(source, analyses=None,
+                        sample_footprint_every: int = 0) -> MultiResult:
+    """Analyze a recorded trace file in one bounded-memory streaming pass.
+
+    ``source`` is a path or open text handle of a trace written by
+    :func:`dump_trace`; the text is parsed lazily and the full trace is
+    never materialized.  ``analyses`` defaults to ``["st-wdc"]`` (the
+    paper's cheapest predictive configuration).
+    """
+    return run_stream(source, list(analyses or ["st-wdc"]),
+                      sample_every=sample_footprint_every)
 
 
 def vindicate_first_race(trace: Trace, analysis: str = "st-wdc"):

@@ -5,9 +5,18 @@ vindicate on demand (§4.3)::
 
     python -m repro analyze recorded.trace --analysis st-wdc
     python -m repro analyze recorded.trace -a st-dc -a fto-hb --vindicate
+    python -m repro analyze huge.trace --stream -a st-wdc -a fto-hb
+    python -m repro compare recorded.trace
+    python -m repro compare --program xalan --scale 0.2 --seed 7
     python -m repro tables --table 4 --scale 0.5
     python -m repro generate --program xalan --scale 0.2 -o xalan.trace
     python -m repro characterize recorded.trace
+
+``analyze --stream`` and ``compare`` run every requested analysis in a
+*single pass* over the events (:class:`repro.core.engine.MultiRunner`);
+with ``--stream`` the trace text is parsed lazily, so arbitrarily large
+captures are analyzed in bounded memory.  Unreadable or malformed trace
+files exit with status 2 (0 = no races, 1 = races found).
 
 (Also installed behaviourally as ``python -m repro.cli``.)
 """
@@ -15,41 +24,126 @@ vindicate on demand (§4.3)::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
-from repro.core.registry import ANALYSIS_NAMES, create
-from repro.trace.format import dump_trace, load_trace
+from repro.core.registry import ANALYSIS_NAMES, MAIN_MATRIX, create
+from repro.core.engine import run_analyses, run_stream
+from repro.trace.format import TraceFormatError, dump_trace, load_trace
+from repro.trace.trace import WellFormednessError
 from repro.workloads.dacapo import DACAPO_SPECS, dacapo_trace
+from repro.workloads.generator import generate_trace
 from repro.workloads.stats import characterize
 
 
+def _print_report(name: str, report, args) -> int:
+    """Print one analysis report; returns 1 if it found races, else 0."""
+    line = "{:<12} {} static / {} dynamic race(s)".format(
+        name, report.static_count, report.dynamic_count)
+    if args.memory:
+        line += "  [peak metadata {}K]".format(
+            report.peak_footprint_bytes // 1024)
+    print(line)
+    for race in report.races[: args.max_races]:
+        print("   event {:>6}  T{}  {} of x{}  ({})".format(
+            race.index, race.tid, race.access, race.var, race.kinds))
+    if report.dynamic_count > args.max_races:
+        print("   ... and {} more".format(
+            report.dynamic_count - args.max_races))
+    return 1 if report.dynamic_count else 0
+
+
 def _cmd_analyze(args) -> int:
-    trace = load_trace(args.trace)
     analyses = args.analysis or ["st-wdc"]
+    sample = 4096 if args.memory else 0
     exit_code = 0
+    if args.stream:
+        if args.vindicate:
+            print("error: --vindicate needs the full trace in memory; "
+                  "rerun without --stream", file=sys.stderr)
+            return 2
+        result = run_stream(args.trace, analyses, sample_every=sample)
+        for entry in result.entries:
+            if entry.failure is not None:
+                print("{:<12} FAILED at event {}: {!r}".format(
+                    entry.name, entry.failure.event_index,
+                    entry.failure.error))
+                exit_code = 2
+            else:
+                exit_code |= _print_report(entry.name, entry.report, args)
+        return exit_code
+    trace = load_trace(args.trace)
     for name in analyses:
-        report = create(name, trace).run(
-            sample_every=4096 if args.memory else 0)
-        line = "{:<12} {} static / {} dynamic race(s)".format(
-            name, report.static_count, report.dynamic_count)
-        if args.memory:
-            line += "  [peak metadata {}K]".format(
-                report.peak_footprint_bytes // 1024)
-        print(line)
-        if report.dynamic_count:
-            exit_code = 1
-        for race in report.races[: args.max_races]:
-            print("   event {:>6}  T{}  {} of x{}  ({})".format(
-                race.index, race.tid, race.access, race.var, race.kinds))
-        if report.dynamic_count > args.max_races:
-            print("   ... and {} more".format(
-                report.dynamic_count - args.max_races))
+        report = create(name, trace).run(sample_every=sample)
+        exit_code |= _print_report(name, report, args)
         if args.vindicate and report.races:
             from repro.vindication.vindicate import vindicate
             result = vindicate(trace, report.first_race)
             print("   vindication of first race: {}".format(result.verdict))
     return exit_code
+
+
+#: The relation hierarchy the compare table checks (paper §2: every
+#: HB-race is a WCP-race is a DC-race is a WDC-race).
+_HIERARCHY = ("hb", "wcp", "dc", "wdc")
+
+
+def _cmd_compare(args) -> int:
+    analyses = args.analysis or list(MAIN_MATRIX)
+    if args.program and (args.trace or args.stream):
+        print("error: --program generates its own trace; it cannot be "
+              "combined with a trace file or --stream", file=sys.stderr)
+        return 2
+    if args.program:
+        spec = DACAPO_SPECS[args.program]
+        if args.scale is not None and args.scale != 1.0:
+            spec = spec.scaled(args.scale)
+        if args.seed is not None:
+            spec = dataclasses.replace(spec, seed=args.seed)
+        trace = generate_trace(spec)
+        result = run_analyses(trace, analyses)
+        source = "{} (seed {})".format(spec.name, spec.seed)
+    elif args.trace:
+        if args.stream:
+            result = run_stream(args.trace, analyses)
+        else:
+            result = run_analyses(load_trace(args.trace), analyses)
+        source = args.trace
+    else:
+        print("error: compare needs a trace file or --program",
+              file=sys.stderr)
+        return 2
+    print("single-pass comparison over {} ({} events)".format(
+        source, result.events_processed))
+    print("{:<12} {:<4} {:<6} {:>7} {:>8}  racy vars".format(
+        "analysis", "rel", "tier", "static", "dynamic"))
+    any_races = False
+    racy_by_relation = {}
+    for entry in result.entries:
+        if entry.failure is not None:
+            print("{:<12} FAILED at event {}: {!r}".format(
+                entry.name, entry.failure.event_index, entry.failure.error))
+            continue
+        report = entry.report
+        racy = sorted(report.racy_vars)
+        shown = ",".join("x{}".format(v) for v in racy[:8])
+        if len(racy) > 8:
+            shown += ",+{}".format(len(racy) - 8)
+        print("{:<12} {:<4} {:<6} {:>7} {:>8}  {}".format(
+            entry.name, report.relation, report.tier,
+            report.static_count, report.dynamic_count, shown or "-"))
+        any_races = any_races or bool(report.races)
+        racy_by_relation.setdefault(report.relation, set()).update(racy)
+    present = [r for r in _HIERARCHY if r in racy_by_relation]
+    if len(present) > 1:
+        ok = all(racy_by_relation[a] <= racy_by_relation[b]
+                 for a, b in zip(present, present[1:]))
+        print("hierarchy {}: {}".format(
+            " <= ".join(present), "OK" if ok else "VIOLATED"))
+    if not result.ok:
+        return 2
+    return 1 if any_races else 0
 
 
 def _cmd_tables(args) -> int:
@@ -107,7 +201,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also report peak metadata footprint")
     analyze.add_argument("--max-races", type=int, default=10,
                          help="dynamic races to list per analysis")
+    analyze.add_argument("--stream", action="store_true",
+                         help="single-pass streaming analysis: parse the "
+                              "trace lazily and feed all analyses from one "
+                              "iteration (bounded memory; file must carry "
+                              "the dump_trace header)")
     analyze.set_defaults(func=_cmd_analyze)
+
+    compare = sub.add_parser(
+        "compare",
+        help="run several analyses in one pass and compare their verdicts")
+    compare.add_argument("trace", nargs="?", default=None,
+                         help="trace file (or use --program)")
+    compare.add_argument("-a", "--analysis", action="append",
+                         choices=ANALYSIS_NAMES,
+                         help="analysis name (repeatable; default: the "
+                              "paper's main 11-configuration matrix)")
+    compare.add_argument("--program", choices=sorted(DACAPO_SPECS),
+                         help="compare on a generated DaCapo-analog trace")
+    compare.add_argument("--scale", type=float, default=None,
+                         help="event-budget scale for --program")
+    compare.add_argument("--seed", type=int, default=None,
+                         help="generator seed override for --program "
+                              "(output is deterministic for a fixed seed)")
+    compare.add_argument("--stream", action="store_true",
+                         help="stream the trace file instead of loading it")
+    compare.set_defaults(func=_cmd_compare)
 
     tables = sub.add_parser("tables", help="regenerate the paper's tables")
     tables.add_argument("--table", type=int, action="append")
@@ -142,6 +261,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         except OSError:
             pass
         return 0
+    except TraceFormatError as exc:
+        print("error: malformed trace: {}".format(exc), file=sys.stderr)
+        return 2
+    except WellFormednessError as exc:
+        print("error: ill-formed trace: {}".format(exc), file=sys.stderr)
+        return 2
+    except OSError as exc:
+        # reads and writes both land here; the exception text names the
+        # file and operation, so don't second-guess it
+        print("error: {}".format(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

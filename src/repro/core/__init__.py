@@ -12,18 +12,32 @@ Analyses are organized by optimization tier (paper Table 1):
   SmartTrack-WCP/DC/WDC).
 
 Use :func:`repro.core.registry.create` (or :func:`repro.detect_races`) to
-instantiate analyses by name.
+instantiate analyses by name.  :mod:`repro.core.engine` drives many
+analyses over one iteration of an event stream (the single-pass engine).
 """
 
-from repro.core.base import Analysis, RaceRecord, RaceReport
+from repro.core.base import Analysis, HANDLER_NAMES, RaceRecord, RaceReport
+from repro.core.engine import (
+    AnalysisFailure,
+    MultiResult,
+    MultiRunner,
+    run_analyses,
+    run_stream,
+)
 from repro.core.registry import ANALYSIS_NAMES, create, relation_of, tier_of
 
 __all__ = [
     "ANALYSIS_NAMES",
     "Analysis",
+    "AnalysisFailure",
+    "HANDLER_NAMES",
+    "MultiResult",
+    "MultiRunner",
     "RaceRecord",
     "RaceReport",
     "create",
     "relation_of",
+    "run_analyses",
+    "run_stream",
     "tier_of",
 ]

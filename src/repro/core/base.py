@@ -16,6 +16,29 @@ Every analysis in the matrix (paper Table 1) subclasses
 Relation-specific behaviour is captured by three small hooks
 (`_acquire_compose`, `_release_publish`, `_publish_clock`) so that each
 algorithm (Algorithms 1–3) is written once and instantiated per relation.
+
+Dispatch-table contract
+-----------------------
+
+Analyses never branch on the event kind: every concrete analysis is a set
+of per-kind handler methods (``read``, ``write``, ..., ``static_access``),
+and :meth:`Analysis.dispatch_table` compiles them once into a tuple of
+bound handlers indexed by the integer event kind (:data:`HANDLER_NAMES`
+fixes the kind → method-name mapping).  Drivers — :meth:`Analysis.run` for
+one analysis over a materialized trace, and
+:class:`repro.core.engine.MultiRunner` for N analyses over one event
+stream — call ``table[event.kind](tid, target, index, site)`` with no
+per-event ``if kind ==`` chains.  Handlers must be self-contained per
+instance: all mutable state (clocks, metadata maps, race lists, footprint
+counters) lives on ``self``, so arbitrarily many instances — including two
+instances of the *same* analysis — can be driven over one stream side by
+side without interference.
+
+An analysis can be constructed from a full :class:`Trace` or from a
+:class:`~repro.trace.trace.TraceInfo` (dimensions only); only
+:meth:`Analysis.run` requires materialized events — external drivers feed
+the dispatch table directly and collect the report via
+:meth:`Analysis.finish`.
 """
 
 from __future__ import annotations
@@ -37,6 +60,33 @@ from repro.trace.event import (
     KIND_NAMES,
 )
 from repro.trace.trace import Trace
+
+#: Event kind -> handler method name; index == kind (the dispatch-table
+#: contract, see module docstring).
+HANDLER_NAMES = (
+    "read",            # READ
+    "write",           # WRITE
+    "acquire",         # ACQUIRE
+    "release",         # RELEASE
+    "fork",            # FORK
+    "join",            # JOIN
+    "volatile_read",   # VOLATILE_READ
+    "volatile_write",  # VOLATILE_WRITE
+    "static_init",     # STATIC_INIT
+    "static_access",   # STATIC_ACCESS
+)
+
+# The table above must stay aligned with the kind constants.
+assert (HANDLER_NAMES.index("read"), HANDLER_NAMES.index("write")) == (READ, WRITE)
+assert HANDLER_NAMES.index("acquire") == ACQUIRE
+assert HANDLER_NAMES.index("release") == RELEASE
+assert HANDLER_NAMES.index("fork") == FORK
+assert HANDLER_NAMES.index("join") == JOIN
+assert HANDLER_NAMES.index("volatile_read") == VOLATILE_READ
+assert HANDLER_NAMES.index("volatile_write") == VOLATILE_WRITE
+assert HANDLER_NAMES.index("static_init") == STATIC_INIT
+assert HANDLER_NAMES.index("static_access") == STATIC_ACCESS
+assert len(HANDLER_NAMES) == len(KIND_NAMES)
 
 # Byte-cost model for metadata footprints.  The constants model a
 # shadow-memory implementation like the paper's (RoadRunner attaches
@@ -130,9 +180,12 @@ class Analysis:
     BUMP_AT_ACQUIRE = False
 
     def __init__(self, trace: Trace):
+        # ``trace`` may be a full Trace or a TraceInfo (dimensions only);
+        # only run() requires materialized events.
         self.trace = trace
         self.races: List[RaceRecord] = []
         self._events_processed = 0
+        self._dispatch = None  # compiled lazily by dispatch_table()
 
     # -- handlers (overridden by concrete analyses) ---------------------
     def read(self, t: int, x: int, i: int, site: int) -> None:
@@ -166,27 +219,30 @@ class Analysis:
         raise NotImplementedError
 
     # -- driving ----------------------------------------------------------
-    def _handlers(self):
-        table = [None] * 10
-        table[READ] = self.read
-        table[WRITE] = self.write
-        table[ACQUIRE] = self.acquire
-        table[RELEASE] = self.release
-        table[FORK] = self.fork
-        table[JOIN] = self.join
-        table[VOLATILE_READ] = self.volatile_read
-        table[VOLATILE_WRITE] = self.volatile_write
-        table[STATIC_INIT] = self.static_init
-        table[STATIC_ACCESS] = self.static_access
+    def dispatch_table(self):
+        """The precompiled per-event-kind dispatch table.
+
+        A tuple of bound handlers indexed by the integer event kind (see
+        :data:`HANDLER_NAMES` and the module docstring); compiled once per
+        instance and cached.  External drivers call
+        ``table[kind](tid, target, index, site)`` directly.
+        """
+        table = self._dispatch
+        if table is None:
+            table = tuple(getattr(self, name) for name in HANDLER_NAMES)
+            self._dispatch = table
         return table
 
     def run(self, sample_every: int = 0) -> RaceReport:
-        """Process the whole trace and return the race report.
+        """Process the whole (materialized) trace and return the report.
 
         ``sample_every`` > 0 samples the metadata footprint every that many
-        events (plus once at the end) and records the peak.
+        events (plus once at the end) and records the peak.  To analyze an
+        event *stream* (or many analyses in one pass), drive the dispatch
+        table externally via :class:`repro.core.engine.MultiRunner` and
+        collect the report with :meth:`finish`.
         """
-        handlers = self._handlers()
+        handlers = self.dispatch_table()
         events = self.trace.events
         peak = 0
         if sample_every > 0:
@@ -199,13 +255,23 @@ class Analysis:
         else:
             for i, e in enumerate(events):
                 handlers[e.kind](e.tid, e.target, i, e.site)
+        return self.finish(len(events), peak)
+
+    def finish(self, events_processed: int, peak_footprint: int = 0) -> RaceReport:
+        """Seal the analysis after the driver fed its dispatch table.
+
+        Takes a final footprint sample and returns the
+        :class:`RaceReport`; ``peak_footprint`` is the largest sample the
+        driver observed mid-run (0 if it never sampled).
+        """
         fp = self.footprint_bytes()
-        if fp > peak:
-            peak = fp
-        self._events_processed = len(events)
+        if fp > peak_footprint:
+            peak_footprint = fp
+        self._events_processed = events_processed
         return RaceReport(
             self.name, self.relation, self.tier, self.races,
-            self._events_processed, peak, getattr(self, "case_counts", None))
+            self._events_processed, peak_footprint,
+            getattr(self, "case_counts", None))
 
     # -- race reporting ----------------------------------------------------
     def _race(self, i: int, site: int, x: int, t: int, access: str,

@@ -1,0 +1,277 @@
+"""Single-pass multi-analysis engine.
+
+The paper's deployment story (§4.3, "always-on" predictive detection)
+wants many analysis configurations applied to *one* observed execution.
+Re-running each analysis over the trace costs ``O(analyses × events)``
+iterations and requires the trace to be materialized up front.
+:class:`MultiRunner` instead drives one iteration of the event stream and
+feeds every registered analysis from it:
+
+* **one pass** — the event source is iterated exactly once and is never
+  rewound, so it can be a generator (e.g. a
+  :class:`~repro.trace.format.TraceStream` parsing a multi-gigabyte
+  capture lazily) and the engine runs in memory bounded by analysis
+  metadata, not trace length;
+* **precompiled dispatch, chunked replay** — each analysis exposes a
+  per-event-kind table of bound handlers
+  (:meth:`repro.core.base.Analysis.dispatch_table`); the engine decodes
+  each event once into a bounded chunk of records and replays the chunk
+  through every table in turn (decode cost is paid once per event, not
+  once per (event, analysis) pair, and each analysis' code and metadata
+  stay cache-hot during its replay);
+* **error isolation** — an analysis whose handler raises is detached and
+  recorded as a :class:`AnalysisFailure`; the remaining analyses are
+  unaffected and still produce reports;
+* **shared sampling** — footprint peaks and progress callbacks are
+  sampled once per cadence for all analyses, at the same event indices
+  :meth:`Analysis.run` would use, so peaks are comparable across paths.
+
+Analyses are ordinary instances; two instances of the *same* analysis can
+run side by side (each owns all of its mutable state — the dispatch-table
+contract in :mod:`repro.core.base`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.base import Analysis, HANDLER_NAMES, RaceReport
+from repro.core.registry import create
+from repro.trace.event import Event
+from repro.trace.trace import Trace, TraceInfo
+
+NUM_KINDS = len(HANDLER_NAMES)
+
+
+class AnalysisFailure:
+    """One detached analysis: the error and the event that triggered it."""
+
+    __slots__ = ("name", "event_index", "error")
+
+    def __init__(self, name: str, event_index: int, error: BaseException):
+        self.name = name
+        self.event_index = event_index
+        self.error = error
+
+    def __repr__(self) -> str:
+        return "AnalysisFailure({} at event {}: {!r})".format(
+            self.name, self.event_index, self.error)
+
+
+class EngineEntry:
+    """Per-analysis slot in a :class:`MultiResult`."""
+
+    __slots__ = ("analysis", "report", "failure", "peak")
+
+    def __init__(self, analysis: Analysis):
+        self.analysis = analysis
+        self.report: Optional[RaceReport] = None
+        self.failure: Optional[AnalysisFailure] = None
+        self.peak = 0
+
+    @property
+    def name(self) -> str:
+        return self.analysis.name
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+class MultiResult:
+    """The outcome of one :class:`MultiRunner` pass.
+
+    ``entries`` is ordered like the registered analyses (two instances of
+    the same analysis keep distinct entries).  ``reports`` is a by-name
+    convenience for the common all-distinct case (first instance wins).
+    """
+
+    def __init__(self, entries: List[EngineEntry], events_processed: int):
+        self.entries = entries
+        self.events_processed = events_processed
+
+    @property
+    def reports(self) -> Dict[str, RaceReport]:
+        out: Dict[str, RaceReport] = {}
+        for entry in self.entries:
+            if entry.report is not None and entry.name not in out:
+                out[entry.name] = entry.report
+        return out
+
+    @property
+    def failures(self) -> List[AnalysisFailure]:
+        return [e.failure for e in self.entries if e.failure is not None]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def report(self, name: str) -> RaceReport:
+        """The (first) report of the named analysis; raises KeyError if it
+        failed or was never registered."""
+        for entry in self.entries:
+            if entry.name == name and entry.report is not None:
+                return entry.report
+        raise KeyError(name)
+
+    def __repr__(self) -> str:
+        return "MultiResult({} analyses over {} events, {} failed)".format(
+            len(self.entries), self.events_processed, len(self.failures))
+
+
+class MultiRunner:
+    """Drive N analyses over one iteration of an event stream.
+
+    The engine works in *chunks*: it drains a bounded batch of events from
+    the source, decoding each event exactly once into ``(index, kind, tid,
+    target, site)`` records, and then replays the batch through each
+    analysis' precompiled dispatch table in turn.  Chunked replay keeps
+    each analysis' handler code and metadata hot in caches (interleaving
+    N analyses per event thrashes CPython's inline caches when analyses
+    share code objects), costs one decode per event instead of one per
+    (event, analysis) pair, and is the natural substrate for sharding
+    batches across workers later.  The source itself is still iterated
+    exactly once and never rewound, so memory stays bounded by the chunk
+    size plus analysis metadata.
+
+    Parameters
+    ----------
+    analyses:
+        Analysis instances (not names); construct via
+        :func:`repro.core.registry.create` with a shared
+        :class:`Trace`/:class:`TraceInfo`.
+    sample_every:
+        > 0 samples every analysis' metadata footprint at that cadence
+        (same event indices as :meth:`Analysis.run`, so peaks are
+        comparable across paths), recording per-analysis peaks.
+    progress:
+        Optional callback invoked as ``progress(events_seen)`` after each
+        chunk (shared across all analyses).
+    chunk_events:
+        Batch size; the engine's extra memory is one decoded record per
+        chunk slot.
+    """
+
+    def __init__(self, analyses: Sequence[Analysis], sample_every: int = 0,
+                 progress: Optional[Callable[[int], None]] = None,
+                 chunk_events: int = 8192):
+        if not analyses:
+            raise ValueError("MultiRunner needs at least one analysis")
+        self.entries = [EngineEntry(a) for a in analyses]
+        self.sample_every = sample_every
+        self.progress = progress
+        self.chunk_events = max(chunk_events, 1)
+
+    def _replay(self, entry: EngineEntry, chunk) -> None:
+        """Replay one decoded chunk through one analysis."""
+        table = entry.analysis.dispatch_table()
+        sample_every = self.sample_every
+        if sample_every:
+            analysis = entry.analysis
+            peak = entry.peak
+            for j, k, t, x, s in chunk:
+                table[k](t, x, j, s)
+                if j % sample_every == 0:
+                    fp = analysis.footprint_bytes()
+                    if fp > peak:
+                        peak = fp
+            entry.peak = peak
+        else:
+            for j, k, t, x, s in chunk:
+                table[k](t, x, j, s)
+
+    @staticmethod
+    def _failure_index(exc: BaseException) -> int:
+        """The event index a replay failure happened at, recovered from
+        the ``_replay`` frame in the traceback (the per-record loop is
+        kept free of bookkeeping; the frame's ``j`` local is the index)."""
+        tb = exc.__traceback__
+        while tb is not None:
+            if tb.tb_frame.f_code is MultiRunner._replay.__code__:
+                return tb.tb_frame.f_locals.get("j", -1)
+            tb = tb.tb_next
+        return -1
+
+    def run(self, events: Union[Trace, Iterable[Event]]) -> MultiResult:
+        """Feed one iteration of ``events`` to every analysis.
+
+        ``events`` may be a :class:`Trace` or any iterable of events —
+        including a one-shot generator; the engine never rewinds it.  An
+        analysis whose handler raises is detached (its
+        :class:`AnalysisFailure` records the event index); the others are
+        unaffected.
+        """
+        if isinstance(events, Trace):
+            events = events.events
+        live = list(self.entries)
+        chunk_size = self.chunk_events
+        progress = self.progress
+        source = iter(events)
+        i = -1
+        exhausted = False
+        while not exhausted:
+            chunk = []
+            append = chunk.append
+            for e in source:
+                i += 1
+                append((i, e.kind, e.tid, e.target, e.site))
+                if len(chunk) == chunk_size:
+                    break
+            else:
+                exhausted = True
+            if not chunk:
+                break
+            for entry in list(live):
+                try:
+                    self._replay(entry, chunk)
+                except Exception as exc:  # isolate: detach this analysis
+                    entry.failure = AnalysisFailure(
+                        entry.name, self._failure_index(exc), exc)
+                    live.remove(entry)
+            if progress is not None:
+                progress(i + 1)
+        events_processed = i + 1
+        for entry in live:
+            entry.report = entry.analysis.finish(events_processed, entry.peak)
+        return MultiResult(self.entries, events_processed)
+
+
+def run_analyses(trace: Union[Trace, TraceInfo], names: Sequence[str],
+                 events: Optional[Iterable[Event]] = None,
+                 sample_every: int = 0,
+                 progress: Optional[Callable[[int], None]] = None) -> MultiResult:
+    """Instantiate registry analyses and run them in one pass.
+
+    ``trace`` supplies the dimensions (and, when it is a full
+    :class:`Trace` and ``events`` is omitted, the event source).  Pass a
+    :class:`TraceInfo` plus an ``events`` iterable for the streaming path.
+    """
+    if events is None:
+        if not isinstance(trace, Trace):
+            raise TypeError(
+                "run_analyses needs an events iterable when given only "
+                "trace dimensions (TraceInfo)")
+        events = trace.events
+    analyses = [create(name, trace) for name in names]
+    runner = MultiRunner(analyses, sample_every=sample_every,
+                         progress=progress)
+    return runner.run(events)
+
+
+def run_stream(source, names: Sequence[str], sample_every: int = 0,
+               progress: Optional[Callable[[int], None]] = None) -> MultiResult:
+    """Analyze a trace file (or open text handle) in one streaming pass.
+
+    The trace text is parsed lazily — the full trace is never held in
+    memory — so this is the bounded-memory path for large captures.  The
+    file must carry the ``# repro trace v1`` header (written by
+    :func:`repro.trace.format.dump_trace`), which declares the dimensions
+    analyses need up front; :class:`repro.trace.format.TraceFormatError`
+    is raised otherwise.
+    """
+    from repro.trace.format import stream_trace
+
+    stream = stream_trace(source)
+    info = stream.require_info()
+    return run_analyses(info, names, events=stream,
+                        sample_every=sample_every, progress=progress)

@@ -9,14 +9,21 @@ DESIGN.md §2 for why Python RSS is not meaningful here).
 :class:`Measurements` memoizes (program, analysis) results so the table
 builders (Tables 3–7 share the same underlying runs) measure each cell
 once per process.
+
+Beyond the per-cell path, :func:`measure_multi` times the single-pass
+engine (:class:`repro.core.engine.MultiRunner`) — N analyses fed from one
+iteration — and :func:`measure_stream` times the bounded-memory streaming
+path over a recorded trace file; both are what ``benchmarks/bench_engine``
+compares against sequential per-analysis runs.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import RaceReport
+from repro.core.engine import run_analyses, run_stream
 from repro.core.registry import create
 from repro.trace.trace import Trace
 from repro.workloads.dacapo import dacapo_trace
@@ -90,6 +97,68 @@ def measure_once(trace: Trace, analysis_name: str, program: str = "",
         trace_bytes=trace.program_state_bytes(), report=report)
 
 
+class MultiMeasureResult:
+    """One timed single-pass run of N analyses over one event stream."""
+
+    def __init__(self, program: str, analyses: List[str], events: int,
+                 seconds: float, baseline_seconds: float,
+                 reports: Dict[str, RaceReport], trace_bytes: int):
+        self.program = program
+        self.analyses = analyses
+        self.events = events
+        self.seconds = seconds
+        self.baseline_seconds = baseline_seconds
+        self.reports = reports
+        self.trace_bytes = trace_bytes
+
+    @property
+    def slowdown(self) -> float:
+        """Combined run time of the whole pass relative to uninstrumented
+        execution (all N analyses together — the always-on scenario)."""
+        if self.baseline_seconds <= 0:
+            return 0.0
+        return self.seconds / self.baseline_seconds
+
+    def __repr__(self) -> str:
+        return "MultiMeasureResult({} analyses on {}: {:.2f}s, {:.1f}x)".format(
+            len(self.analyses), self.program, self.seconds, self.slowdown)
+
+
+def measure_multi(trace: Trace, analysis_names: Sequence[str],
+                  program: str = "", baseline: Optional[float] = None,
+                  sample_every: int = 4096) -> MultiMeasureResult:
+    """Time one single-pass engine run of N analyses over one trace."""
+    if baseline is None:
+        baseline = uninstrumented_time(trace)
+    names = list(analysis_names)
+    t0 = time.perf_counter()
+    result = run_analyses(trace, names, sample_every=sample_every)
+    seconds = time.perf_counter() - t0
+    return MultiMeasureResult(
+        program=program, analyses=names, events=result.events_processed,
+        seconds=seconds, baseline_seconds=baseline,
+        reports=result.reports, trace_bytes=trace.program_state_bytes())
+
+
+def measure_stream(source, analysis_names: Sequence[str],
+                   program: str = "",
+                   sample_every: int = 4096) -> MultiMeasureResult:
+    """Time one bounded-memory streaming pass over a recorded trace file.
+
+    The baseline here is 0 (there is no materialized trace to walk);
+    ``seconds`` includes lazy parsing, which is the honest cost of the
+    offline workflow.
+    """
+    names = list(analysis_names)
+    t0 = time.perf_counter()
+    result = run_stream(source, names, sample_every=sample_every)
+    seconds = time.perf_counter() - t0
+    return MultiMeasureResult(
+        program=program, analyses=names, events=result.events_processed,
+        seconds=seconds, baseline_seconds=0.0,
+        reports=result.reports, trace_bytes=0)
+
+
 class Measurements:
     """Memoized measurement matrix over the DaCapo-analog programs."""
 
@@ -98,6 +167,7 @@ class Measurements:
         self.trials = trials
         self._results: Dict[Tuple[str, str], List[MeasureResult]] = {}
         self._baselines: Dict[str, float] = {}
+        self._multi: Dict[Tuple[str, Tuple[str, ...]], MultiMeasureResult] = {}
 
     def trace_for(self, program: str) -> Trace:
         return dacapo_trace(program, scale=self.scale)
@@ -122,6 +192,16 @@ class Measurements:
     def cell(self, program: str, analysis: str) -> MeasureResult:
         """First-trial result for a cell (the common single-trial case)."""
         return self.runs(program, analysis)[0]
+
+    def multi(self, program: str,
+              analyses: Sequence[str]) -> MultiMeasureResult:
+        """Memoized single-pass engine run of N analyses on a program."""
+        key = (program, tuple(analyses))
+        if key not in self._multi:
+            self._multi[key] = measure_multi(
+                self.trace_for(program), analyses, program=program,
+                baseline=self.baseline(program))
+        return self._multi[key]
 
     def slowdowns(self, program: str, analysis: str) -> List[float]:
         return [r.slowdown for r in self.runs(program, analysis)]

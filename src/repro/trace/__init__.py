@@ -24,8 +24,16 @@ from repro.trace.event import (
     is_read,
     is_write,
 )
-from repro.trace.format import dump_trace, dumps_trace, load_trace, loads_trace
-from repro.trace.trace import Trace, WellFormednessError
+from repro.trace.format import (
+    TraceFormatError,
+    TraceStream,
+    dump_trace,
+    dumps_trace,
+    load_trace,
+    loads_trace,
+    stream_trace,
+)
+from repro.trace.trace import Trace, TraceInfo, WellFormednessError
 
 __all__ = [
     "ACQUIRE",
@@ -39,6 +47,9 @@ __all__ = [
     "STATIC_INIT",
     "Trace",
     "TraceBuilder",
+    "TraceFormatError",
+    "TraceInfo",
+    "TraceStream",
     "VOLATILE_READ",
     "VOLATILE_WRITE",
     "WRITE",
@@ -50,4 +61,5 @@ __all__ = [
     "is_write",
     "load_trace",
     "loads_trace",
+    "stream_trace",
 ]

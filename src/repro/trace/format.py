@@ -1,4 +1,4 @@
-"""A line-oriented text format for traces.
+"""A line-oriented text format for traces, with a streaming reader.
 
 One event per line::
 
@@ -13,15 +13,38 @@ are ignored.  Ids are written with a one-letter namespace prefix (``T``,
 
 The format exists so traces can be captured once and re-analyzed offline —
 the same workflow the paper proposes for record & replay vindication (§4.3).
+
+Streaming event protocol
+------------------------
+
+:func:`dump_trace` writes a header comment declaring the trace dimensions::
+
+    # repro trace v1: threads=4 locks=8 vars=64
+
+:func:`stream_trace` returns a :class:`TraceStream`: its ``info`` attribute
+is the :class:`~repro.trace.trace.TraceInfo` parsed from that header (or
+``None`` for header-less text), and iterating it yields
+:class:`~repro.trace.event.Event` objects parsed lazily, one line at a
+time — the full :class:`~repro.trace.trace.Trace` is never materialized,
+so arbitrarily large captures are analyzed in bounded memory (feed the
+stream to :class:`repro.core.engine.MultiRunner`).  A stream is strictly
+one-shot: it cannot be rewound, and a second iteration raises
+:class:`RuntimeError`.  Malformed lines raise :class:`TraceFormatError`
+carrying the offending line number (``.lineno``).
+
+:func:`load_trace` is the materializing wrapper: it drains a stream into a
+:class:`~repro.trace.trace.Trace`, preferring header dimensions (so e.g. a
+declared thread count survives a round trip even when some threads logged
+no events).
 """
 
 from __future__ import annotations
 
 import io
-from typing import TextIO, Union
+from typing import Iterator, Optional, TextIO, Union
 
 from repro.trace.event import Event, KIND_NAMES, NAME_KINDS
-from repro.trace.trace import Trace
+from repro.trace.trace import Trace, TraceInfo
 
 _PREFIX = {
     "rd": "x",
@@ -36,9 +59,15 @@ _PREFIX = {
     "sacc": "k",
 }
 
+_HEADER_PREFIX = "# repro trace v1:"
+
 
 class TraceFormatError(ValueError):
-    """Raised on malformed trace text."""
+    """Raised on malformed trace text; ``lineno`` is the offending line."""
+
+    def __init__(self, message: str, lineno: int = 0):
+        super().__init__(message)
+        self.lineno = lineno
 
 
 def dumps_trace(trace: Trace) -> str:
@@ -50,12 +79,161 @@ def dumps_trace(trace: Trace) -> str:
 
 def dump_trace(trace: Trace, fp: TextIO) -> None:
     """Serialize ``trace`` to an open text file."""
-    fp.write("# repro trace v1: threads={} locks={} vars={}\n".format(
-        trace.num_threads, trace.num_locks, trace.num_vars))
+    fp.write("{} threads={} locks={} vars={}\n".format(
+        _HEADER_PREFIX, trace.num_threads, trace.num_locks, trace.num_vars))
     for e in trace.events:
         name = KIND_NAMES[e.kind]
         fp.write("T{} {} {}{} @{}\n".format(
             e.tid, name, _PREFIX[name], e.target, e.site))
+
+
+def _parse_id(token: str, lineno: int) -> int:
+    digits = token.lstrip("Tmxvk")
+    if not digits.isdigit():
+        raise TraceFormatError(
+            "line {}: bad id {!r}".format(lineno, token), lineno)
+    return int(digits)
+
+
+def parse_event_line(line: str, lineno: int) -> Optional[Event]:
+    """Parse one line; None for blanks/comments, TraceFormatError if bad."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    parts = line.split()
+    if len(parts) not in (3, 4):
+        raise TraceFormatError(
+            "line {}: expected 'Tn op operand [@site]'".format(lineno),
+            lineno)
+    tid = _parse_id(parts[0], lineno)
+    kind = NAME_KINDS.get(parts[1])
+    if kind is None:
+        raise TraceFormatError(
+            "line {}: unknown operation {!r}".format(lineno, parts[1]),
+            lineno)
+    target = _parse_id(parts[2], lineno)
+    site = 0
+    if len(parts) == 4:
+        if not parts[3].startswith("@"):
+            raise TraceFormatError(
+                "line {}: expected '@site', got {!r}".format(
+                    lineno, parts[3]), lineno)
+        try:
+            site = int(parts[3][1:])
+        except ValueError:
+            raise TraceFormatError(
+                "line {}: bad site {!r}".format(lineno, parts[3]), lineno)
+    return Event(tid, kind, target, site)
+
+
+def _parse_header(line: str) -> Optional[TraceInfo]:
+    """Parse the ``# repro trace v1:`` header comment, if that's what
+    ``line`` is; malformed fields are ignored (it is just a comment)."""
+    if not line.startswith(_HEADER_PREFIX):
+        return None
+    info = TraceInfo()
+    for token in line[len(_HEADER_PREFIX):].split():
+        key, _, value = token.partition("=")
+        if not value.isdigit():
+            continue
+        attr = {"threads": "num_threads", "locks": "num_locks",
+                "vars": "num_vars", "volatiles": "num_volatiles",
+                "classes": "num_classes", "events": "num_events"}.get(key)
+        if attr is not None:
+            setattr(info, attr, int(value))
+    return info
+
+
+class TraceStream:
+    """A one-shot, lazily parsed event stream over trace text.
+
+    Attributes
+    ----------
+    info:
+        :class:`TraceInfo` from the header comment, or None if absent.
+    events_read:
+        Events yielded so far (grows during iteration).
+
+    Iterating yields :class:`Event` objects without ever materializing the
+    trace.  The stream owns the file handle when constructed from a path
+    and closes it when exhausted (or on error).
+    """
+
+    def __init__(self, source: Union[TextIO, str]):
+        if isinstance(source, str):
+            self._fp: TextIO = open(source)
+            self._owns_fp = True
+        else:
+            self._fp = source
+            self._owns_fp = False
+        self._consumed = False
+        self.events_read = 0
+        # The header, when present, is the first line; peek at it so
+        # ``info`` is available before iteration starts.
+        self._pending: Optional[str] = self._fp.readline()
+        self.info: Optional[TraceInfo] = None
+        if self._pending:
+            self.info = _parse_header(self._pending)
+            if self.info is not None:
+                self._pending = None  # consumed as header
+
+    def close(self) -> None:
+        """Release the underlying file if this stream owns it (iterating
+        to exhaustion closes it automatically; this is for streams
+        abandoned before or during iteration)."""
+        if self._owns_fp:
+            self._fp.close()
+
+    def require_info(self) -> TraceInfo:
+        """The header dimensions, or TraceFormatError if there were none
+        (streaming analysis needs the thread count up front).  Closes the
+        stream on failure — it is unusable for analysis anyway."""
+        if self.info is None:
+            self.close()
+            raise TraceFormatError(
+                "trace has no '{} ...' header; streaming analysis needs "
+                "the declared dimensions (re-record with dump_trace, or "
+                "load the trace in full)".format(_HEADER_PREFIX))
+        return self.info
+
+    def __iter__(self) -> Iterator[Event]:
+        if self._consumed:
+            raise RuntimeError(
+                "TraceStream is one-shot and was already consumed; "
+                "re-open the source to iterate again")
+        self._consumed = True
+        return self._generate()
+
+    def _generate(self) -> Iterator[Event]:
+        lineno = 0
+        try:
+            if self._pending is not None:
+                lineno = 1
+                event = parse_event_line(self._pending, lineno)
+                self._pending = None
+                if event is not None:
+                    self.events_read += 1
+                    yield event
+            elif self.info is not None:
+                lineno = 1  # the header line
+            for line in self._fp:
+                lineno += 1
+                event = parse_event_line(line, lineno)
+                if event is not None:
+                    self.events_read += 1
+                    yield event
+        finally:
+            if self._owns_fp:
+                self._fp.close()
+
+
+def stream_trace(source: Union[TextIO, str]) -> TraceStream:
+    """Open a lazily parsed one-shot event stream over trace text.
+
+    ``source`` is an open text file or a file path.  See
+    :class:`TraceStream` and the module docstring for the protocol.
+    """
+    return TraceStream(source)
 
 
 def loads_trace(text: str, validate: bool = True) -> Trace:
@@ -63,38 +241,28 @@ def loads_trace(text: str, validate: bool = True) -> Trace:
     return load_trace(io.StringIO(text), validate=validate)
 
 
-def _parse_id(token: str, lineno: int) -> int:
-    digits = token.lstrip("Tmxvk")
-    if not digits.isdigit():
-        raise TraceFormatError("line {}: bad id {!r}".format(lineno, token))
-    return int(digits)
-
-
 def load_trace(fp: Union[TextIO, str], validate: bool = True) -> Trace:
-    """Parse a trace from an open text file or a file path."""
-    if isinstance(fp, str):
-        with open(fp) as handle:
-            return load_trace(handle, validate=validate)
-    events = []
-    for lineno, line in enumerate(fp, start=1):
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        parts = line.split()
-        if len(parts) not in (3, 4):
-            raise TraceFormatError(
-                "line {}: expected 'Tn op operand [@site]'".format(lineno))
-        tid = _parse_id(parts[0], lineno)
-        kind = NAME_KINDS.get(parts[1])
-        if kind is None:
-            raise TraceFormatError(
-                "line {}: unknown operation {!r}".format(lineno, parts[1]))
-        target = _parse_id(parts[2], lineno)
-        site = 0
-        if len(parts) == 4:
-            if not parts[3].startswith("@"):
-                raise TraceFormatError(
-                    "line {}: expected '@site', got {!r}".format(lineno, parts[3]))
-            site = int(parts[3][1:])
-        events.append(Event(tid, kind, target, site))
-    return Trace(events, validate=validate)
+    """Parse a trace from an open text file or a file path.
+
+    Built on :func:`stream_trace`; the header's declared dimensions are
+    honored when they cover everything the events mention.
+    """
+    stream = stream_trace(fp)
+    events = list(stream)
+    info = stream.info
+    derived = Trace(events, validate=validate)
+    if info is None or (info.num_threads <= derived.num_threads
+                        and info.num_locks <= derived.num_locks
+                        and info.num_vars <= derived.num_vars):
+        # header-less, or the header adds nothing over the events (the
+        # common exact-header case): no second construction needed
+        return derived
+    return Trace(
+        events,
+        num_threads=max(info.num_threads, derived.num_threads),
+        num_locks=max(info.num_locks, derived.num_locks),
+        num_vars=max(info.num_vars, derived.num_vars),
+        num_volatiles=derived.num_volatiles,
+        num_classes=derived.num_classes,
+        validate=False,  # already validated just above
+    )

@@ -41,6 +41,49 @@ class WellFormednessError(ValueError):
         )
 
 
+class TraceInfo:
+    """Trace *dimensions* without the events.
+
+    A lightweight stand-in for :class:`Trace` used by the streaming path:
+    analyses only need the id-namespace sizes (``num_threads`` above all)
+    to size their metadata, so a :class:`TraceInfo` parsed from a trace
+    header is enough to instantiate any analysis and drive it from an
+    event stream that is never materialized (see
+    :class:`repro.core.engine.MultiRunner`).
+
+    ``num_events`` is a hint (0 when unknown); ``len()`` returns it so the
+    few callers that size preallocated structures keep working.
+    """
+
+    __slots__ = ("num_threads", "num_locks", "num_vars",
+                 "num_volatiles", "num_classes", "num_events")
+
+    def __init__(self, num_threads: int = 1, num_locks: int = 0,
+                 num_vars: int = 0, num_volatiles: int = 0,
+                 num_classes: int = 0, num_events: int = 0):
+        self.num_threads = num_threads
+        self.num_locks = num_locks
+        self.num_vars = num_vars
+        self.num_volatiles = num_volatiles
+        self.num_classes = num_classes
+        self.num_events = num_events
+
+    @classmethod
+    def of(cls, trace: "Trace") -> "TraceInfo":
+        """The dimensions of a materialized trace."""
+        return cls(trace.num_threads, trace.num_locks, trace.num_vars,
+                   trace.num_volatiles, trace.num_classes, len(trace))
+
+    def __len__(self) -> int:
+        return self.num_events
+
+    def __repr__(self) -> str:
+        return ("TraceInfo(threads={}, locks={}, vars={}, volatiles={}, "
+                "classes={}, events={})").format(
+                    self.num_threads, self.num_locks, self.num_vars,
+                    self.num_volatiles, self.num_classes, self.num_events)
+
+
 class Trace:
     """An execution trace over dense thread/lock/variable id spaces.
 

@@ -1,11 +1,34 @@
-"""Shared test fixtures and helpers."""
+"""Shared test fixtures and helpers.
+
+The fuzz volume of the differential sweep (``tests/test_fuzz_differential``)
+is dialed by ``--fuzz-count N`` (default 200) or the ``FUZZ_COUNT``
+environment variable, so CI can trade coverage for wall clock.
+"""
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Dict, List
 
 import pytest
+
+DEFAULT_FUZZ_COUNT = 200
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-count", type=int, default=None,
+        help="random traces per fuzz sweep (default {}, or FUZZ_COUNT "
+             "env)".format(DEFAULT_FUZZ_COUNT))
+
+
+@pytest.fixture(scope="session")
+def fuzz_count(request) -> int:
+    opt = request.config.getoption("--fuzz-count", default=None)
+    if opt is not None:
+        return opt
+    return int(os.environ.get("FUZZ_COUNT", DEFAULT_FUZZ_COUNT))
 
 from repro.trace.event import (
     ACQUIRE,

@@ -68,6 +68,129 @@ class TestGenerateAndCharacterize:
         assert code == 1  # xalan has planted races
 
 
+class TestStreamFlag:
+    def test_stream_output_matches_in_memory(self, fig1_path, capsys):
+        code = main(["analyze", fig1_path, "-a", "st-wdc", "-a", "fto-hb"])
+        in_memory = capsys.readouterr().out
+        stream_code = main(["analyze", fig1_path, "--stream",
+                            "-a", "st-wdc", "-a", "fto-hb"])
+        streamed = capsys.readouterr().out
+        assert streamed == in_memory
+        assert stream_code == code == 1
+
+    def test_stream_memory_flag(self, fig1_path, capsys):
+        code = main(["analyze", fig1_path, "--stream", "--memory"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "peak metadata" in out
+
+    def test_stream_rejects_vindicate(self, fig1_path, capsys):
+        code = main(["analyze", fig1_path, "--stream", "--vindicate"])
+        assert code == 2
+        assert "--stream" in capsys.readouterr().err
+
+    def test_stream_requires_header(self, tmp_path, capsys):
+        path = tmp_path / "raw.trace"
+        path.write_text("T0 rd x0\nT1 wr x0\n")
+        code = main(["analyze", str(path), "--stream"])
+        assert code == 2
+        assert "header" in capsys.readouterr().err
+
+    def test_unreadable_file_exit_code(self, tmp_path, capsys):
+        code = main(["analyze", str(tmp_path / "missing.trace")])
+        assert code == 2
+        assert "missing.trace" in capsys.readouterr().err
+
+    def test_unwritable_output_exit_code(self, tmp_path, capsys):
+        target = str(tmp_path / "no" / "such" / "dir" / "x.trace")
+        code = main(["generate", "--program", "pmd", "--scale", "0.05",
+                     "-o", target])
+        assert code == 2
+        assert "no/such/dir" in capsys.readouterr().err
+
+    def test_stream_reports_failed_analysis(self, tmp_path, capsys):
+        # a header that understates the thread count makes every clock
+        # analysis blow up; the engine detaches them and the CLI must
+        # report the failure instead of crashing
+        path = tmp_path / "lying.trace"
+        path.write_text("# repro trace v1: threads=1 locks=1 vars=1\n"
+                        "T4 rd x0\n")
+        code = main(["analyze", str(path), "--stream"])
+        out = capsys.readouterr().out
+        assert code == 2
+        assert "FAILED at event 0" in out
+
+    def test_corrupt_file_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro trace v1: threads=1 locks=1 vars=1\n"
+                        "T0 rd x0\nT0 frobnicate x0\n")
+        for argv in (["analyze", str(path)],
+                     ["analyze", str(path), "--stream"],
+                     ["compare", str(path)]):
+            code = main(argv)
+            err = capsys.readouterr().err
+            assert code == 2, argv
+            assert "line 3" in err, argv
+
+
+class TestCompare:
+    def test_compare_trace_file(self, fig1_path, capsys):
+        code = main(["compare", fig1_path])
+        out = capsys.readouterr().out
+        assert code == 1  # figure 1 has a predictive race
+        for name in ("unopt-hb", "st-wdc"):
+            assert name in out
+        assert "hierarchy hb <= wcp <= dc <= wdc: OK" in out
+
+    def test_compare_stream(self, fig1_path, capsys):
+        code = main(["compare", fig1_path, "--stream",
+                     "-a", "fto-hb", "-a", "st-dc"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "fto-hb" in out and "st-dc" in out
+
+    def test_compare_stable_across_runs_with_fixed_seed(self, capsys):
+        argv = ["compare", "--program", "pmd", "--scale", "0.05",
+                "--seed", "1234", "-a", "fto-hb", "-a", "st-wdc"]
+        code_a = main(argv)
+        out_a = capsys.readouterr().out
+        code_b = main(argv)
+        out_b = capsys.readouterr().out
+        assert out_a == out_b
+        assert code_a == code_b
+        assert "seed 1234" in out_a
+
+    def test_compare_different_seeds_differ(self, capsys):
+        outs = []
+        for seed in ("11", "22"):
+            main(["compare", "--program", "pmd", "--scale", "0.05",
+                  "--seed", seed, "-a", "st-wdc"])
+            outs.append(capsys.readouterr().out)
+        assert outs[0] != outs[1]
+
+    def test_compare_requires_source(self, capsys):
+        code = main(["compare"])
+        assert code == 2
+        assert "--program" in capsys.readouterr().err
+
+    def test_compare_rejects_program_plus_trace(self, fig1_path, capsys):
+        code = main(["compare", fig1_path, "--program", "pmd"])
+        assert code == 2
+        assert "cannot be combined" in capsys.readouterr().err
+        code = main(["compare", "--program", "pmd", "--stream"])
+        assert code == 2
+
+    def test_compare_race_free_exit_zero(self, tmp_path, capsys):
+        from repro.workloads.litmus import rule_a_chain
+        path = tmp_path / "quiet.trace"
+        with open(path, "w") as fp:
+            dump_trace(rule_a_chain(), fp)
+        code = main(["compare", str(path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hierarchy" in out
+
+
 class TestTables:
     def test_tables_subcommand(self, tmp_path, capsys):
         code = main(["tables", "--table", "2", "--scale", "0.05",

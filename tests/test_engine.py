@@ -1,0 +1,231 @@
+"""Tests for the single-pass multi-analysis engine (repro.core.engine)."""
+
+import io
+
+import pytest
+
+import repro
+from repro.core.base import Analysis
+from repro.core.engine import MultiRunner, run_analyses, run_stream
+from repro.core.registry import MAIN_MATRIX, create
+from repro.harness.tables import TABLE3_ANALYSES
+from repro.trace.trace import TraceInfo
+from repro.workloads import figure1, generate_trace, WorkloadSpec
+from tests.conftest import ALL_ANALYSES, random_trace
+
+
+class OneShotEvents:
+    """An event source that counts iterations and refuses to rewind."""
+
+    def __init__(self, events):
+        self.events = list(events)
+        self.iterations = 0
+
+    def __iter__(self):
+        if self.iterations:
+            raise RuntimeError("event source rewound")
+        self.iterations += 1
+        return iter(self.events)
+
+
+class ExplodingAnalysis(Analysis):
+    """Raises inside a handler at a chosen event index."""
+
+    name = "exploding"
+    relation = "none"
+    tier = "test"
+
+    def __init__(self, trace, explode_at=0):
+        super().__init__(trace)
+        self.explode_at = explode_at
+
+    def _handle(self, t, x, i, site):
+        if i >= self.explode_at:
+            raise ZeroDivisionError("boom at {}".format(i))
+
+    read = write = acquire = release = _handle
+    fork = join = volatile_read = volatile_write = _handle
+    static_init = static_access = _handle
+
+
+def _race_key(report):
+    return [(r.index, r.var, r.tid, r.access, r.kinds) for r in report.races]
+
+
+class TestSinglePass:
+    def test_exactly_one_iteration_for_table3_configs(self, rng):
+        trace = random_trace(rng, n_events=120)
+        analyses = [create(name, trace) for name in TABLE3_ANALYSES]
+        source = OneShotEvents(trace.events)
+        result = MultiRunner(analyses).run(source)
+        assert source.iterations == 1
+        assert result.events_processed == len(trace)
+        for entry in result.entries:
+            assert entry.ok
+            assert entry.report.events_processed == len(trace)
+
+    def test_exactly_one_iteration_for_main_matrix(self, rng):
+        trace = random_trace(rng, n_events=80)
+        analyses = [create(name, trace) for name in MAIN_MATRIX]
+        source = OneShotEvents(trace.events)
+        MultiRunner(analyses).run(source)
+        assert source.iterations == 1
+
+    def test_accepts_plain_generator(self):
+        trace = figure1()
+        gen = (e for e in trace.events)
+        result = run_analyses(trace, ["st-wdc"], events=gen)
+        assert result.report("st-wdc").dynamic_count == 1
+
+    def test_matches_solo_runs_on_figure1(self):
+        trace = figure1()
+        result = repro.detect_races_multi(trace)
+        for name in MAIN_MATRIX:
+            solo = repro.detect_races(trace, name)
+            assert _race_key(result.report(name)) == _race_key(solo), name
+
+    def test_empty_analysis_list_rejected(self):
+        with pytest.raises(ValueError):
+            MultiRunner([])
+
+    def test_traceinfo_requires_explicit_events(self):
+        info = TraceInfo(num_threads=2)
+        with pytest.raises(TypeError):
+            run_analyses(info, ["st-wdc"])
+
+
+class TestErrorIsolation:
+    def test_failure_is_recorded_and_others_finish(self, rng):
+        trace = random_trace(rng, n_events=60)
+        exploding = ExplodingAnalysis(trace, explode_at=17)
+        healthy = create("st-wdc", trace)
+        result = MultiRunner([exploding, healthy]).run(trace)
+        assert not result.ok
+        (failure,) = result.failures
+        assert failure.name == "exploding"
+        assert failure.event_index == 17
+        assert isinstance(failure.error, ZeroDivisionError)
+        # the healthy analysis is untouched and matches a solo run
+        solo = repro.detect_races(trace, "st-wdc")
+        assert _race_key(result.report("st-wdc")) == _race_key(solo)
+        assert result.report("st-wdc").events_processed == len(trace)
+
+    def test_failed_analysis_has_no_report(self):
+        trace = figure1()
+        exploding = ExplodingAnalysis(trace, explode_at=0)
+        result = MultiRunner([exploding]).run(trace)
+        assert result.entries[0].report is None
+        with pytest.raises(KeyError):
+            result.report("exploding")
+        # the stream is still drained fully (events_processed is total)
+        assert result.events_processed == len(trace)
+
+    def test_all_analyses_can_fail_mid_stream(self, rng):
+        trace = random_trace(rng, n_events=40)
+        a = ExplodingAnalysis(trace, explode_at=5)
+        b = ExplodingAnalysis(trace, explode_at=9)
+        result = MultiRunner([a, b]).run(trace)
+        assert [f.event_index for f in result.failures] == [5, 9]
+
+
+class TestInstanceIsolation:
+    """Two instances of the same analysis, one stream, zero interference
+    (the dispatch-table contract: all mutable state is per-instance)."""
+
+    @pytest.mark.parametrize("name", ALL_ANALYSES)
+    def test_same_analysis_side_by_side(self, name, rng):
+        trace = random_trace(rng, n_events=70)
+        first = create(name, trace)
+        second = create(name, trace)
+        result = MultiRunner([first, second],
+                             sample_every=64).run(trace)
+        assert result.ok
+        r1, r2 = result.entries[0].report, result.entries[1].report
+        assert _race_key(r1) == _race_key(r2)
+        assert r1.peak_footprint_bytes == r2.peak_footprint_bytes
+        solo = create(name, trace).run(sample_every=64)
+        assert _race_key(r1) == _race_key(solo)
+        assert r1.peak_footprint_bytes == solo.peak_footprint_bytes
+
+    def test_footprint_sampling_cadence_matches_solo(self, rng):
+        trace = random_trace(rng, n_events=90)
+        for name in ("st-dc", "unopt-wcp", "ft2"):
+            multi = MultiRunner([create(name, trace)],
+                                sample_every=32).run(trace)
+            solo = create(name, trace).run(sample_every=32)
+            assert multi.report(name).peak_footprint_bytes == \
+                solo.peak_footprint_bytes, name
+
+
+class TestProgress:
+    def test_progress_callback_shared(self):
+        spec = WorkloadSpec(name="p", threads=3, events=2000, seed=5)
+        trace = generate_trace(spec)
+        seen = []
+        runner = MultiRunner([create("st-wdc", trace),
+                              create("fto-hb", trace)],
+                             progress=seen.append, chunk_events=512)
+        result = runner.run(trace)
+        # called once per chunk with the running event count, regardless
+        # of how many analyses are registered
+        n = result.events_processed
+        assert seen == [min(512 * (c + 1), n)
+                        for c in range((n + 511) // 512)]
+
+
+class TestStreaming:
+    def test_run_stream_requires_header(self):
+        from repro.trace.format import TraceFormatError
+        with pytest.raises(TraceFormatError, match="header"):
+            run_stream(io.StringIO("T0 rd x0\n"), ["st-wdc"])
+
+    def test_one_million_events_bounded_memory(self, tmp_path):
+        """The acceptance scenario: a 1M-event text trace is analyzed
+        through a one-shot stream — the Trace is never materialized (the
+        stream raises on any rewind attempt)."""
+        n = 1_000_000
+        path = tmp_path / "million.trace"
+        with open(path, "w") as fp:
+            fp.write("# repro trace v1: threads=2 locks=1 vars=4\n")
+            chunk = (
+                "T0 acq m0 @1\nT0 wr x0 @2\nT0 rel m0 @3\n"
+                "T1 acq m0 @4\nT1 wr x0 @5\nT1 rel m0 @6\n"
+                "T0 rd x1 @7\nT1 rd x2 @8\n"
+            )
+            for _ in range(n // 8):
+                fp.write(chunk)
+        from repro.trace.format import stream_trace
+        stream = stream_trace(str(path))
+        info = stream.require_info()
+        assert info.num_threads == 2
+        result = run_analyses(info, ["ft2"], events=stream)
+        assert result.events_processed == n
+        assert stream.events_read == n
+        assert result.report("ft2").dynamic_count == 0
+        # one-shot: the engine cannot have rewound, and nobody else can
+        with pytest.raises(RuntimeError, match="one-shot"):
+            iter(stream)
+
+    def test_graph_variant_streams(self, tmp_path):
+        # constraint-graph analyses size off a hint, so they work even
+        # when the event count is unknown up front
+        trace = figure1()
+        path = tmp_path / "g.trace"
+        with open(path, "w") as fp:
+            repro.dump_trace(trace, fp)
+        result = run_stream(str(path), ["unopt-wdc-g"])
+        assert result.ok
+        assert result.report("unopt-wdc-g").dynamic_count == \
+            repro.detect_races(trace, "unopt-wdc").dynamic_count
+
+    def test_stream_matches_materialized(self, tmp_path):
+        spec = WorkloadSpec(name="s", threads=4, events=3000,
+                            predictive_races=1, hb_races=1, seed=77)
+        trace = generate_trace(spec)
+        path = tmp_path / "s.trace"
+        with open(path, "w") as fp:
+            repro.dump_trace(trace, fp)
+        streamed = run_stream(str(path), ["st-wdc", "fto-hb"])
+        for name in ("st-wdc", "fto-hb"):
+            solo = repro.detect_races(trace, name)
+            assert _race_key(streamed.report(name)) == _race_key(solo)

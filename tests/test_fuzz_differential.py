@@ -1,0 +1,103 @@
+"""Property-based differential fuzz: single-pass engine vs solo runs.
+
+A seeded sweep of random well-formed traces across thread/lock/variable
+counts (and event-kind mixes including fork/join and class-init edges)
+asserts, for every analysis configuration in the matrix:
+
+(a) the old single-analysis path (``Analysis.run`` over a materialized
+    trace) and the new single-pass :class:`MultiRunner` report *identical*
+    races, and
+(b) the paper's race-subset hierarchy holds: every HB-race is a WCP-race
+    is a DC-race is a WDC-race (racy-variable sets nest accordingly).
+
+Volume is dialed with ``--fuzz-count`` / ``FUZZ_COUNT`` (see conftest).
+"""
+
+import random
+
+import pytest
+
+import repro
+from repro.core.engine import MultiRunner
+from repro.core.registry import create
+from repro.trace.event import Event, FORK, JOIN, STATIC_ACCESS, STATIC_INIT
+from repro.trace.trace import Trace
+from tests.conftest import ALL_ANALYSES, random_trace
+
+#: per-tier HB ⊆ WCP ⊆ DC ⊆ WDC chains (fto-hb stands in as the HB
+#: member of the SmartTrack tier, which has no HB configuration).
+HIERARCHY_CHAINS = [
+    ("unopt-hb", "unopt-wcp", "unopt-dc", "unopt-wdc"),
+    ("fto-hb", "fto-wcp", "fto-dc", "fto-wdc"),
+    ("fto-hb", "st-wcp", "st-dc", "st-wdc"),
+]
+
+
+def fuzzed_trace(rng: random.Random, trial: int) -> Trace:
+    """A random well-formed trace with trial-varied shape parameters,
+    wrapped in a fork/join tree and sprinkled with class-init edges."""
+    threads = 2 + trial % 5
+    locks = 1 + trial % 4
+    nvars = 2 + (trial // 2) % 5
+    nvol = trial % 3  # sometimes no volatiles at all
+    n_events = 30 + (trial * 7) % 60
+    body = random_trace(
+        rng, n_events=n_events, threads=threads, locks=locks, nvars=nvars,
+        nvol=max(nvol, 1), volatiles=nvol > 0, tame=(trial % 5 == 0)).events
+    events = []
+    if trial % 2:
+        # main thread (0) forks the workers up front and joins them after
+        for u in range(1, threads):
+            events.append(Event(0, FORK, u, 500 + u))
+    events.extend(body)
+    if trial % 3 == 0:
+        # class-initialization edges among the body (any thread, 2 classes)
+        for j in range(0, len(events), 17):
+            t = events[j].tid
+            kind = STATIC_INIT if j % 34 == 0 else STATIC_ACCESS
+            events.append(Event(t, kind, (j // 17) % 2, 600))
+    if trial % 2:
+        for u in range(1, threads):
+            events.append(Event(0, JOIN, u, 550 + u))
+    return Trace(events)
+
+
+def _race_key(report):
+    return [(r.index, r.var, r.tid, r.access, r.kinds) for r in report.races]
+
+
+def test_fuzz_multirunner_vs_solo_and_hierarchy(fuzz_count):
+    rng = random.Random(0xFA57)
+    for trial in range(fuzz_count):
+        trace = fuzzed_trace(rng, trial)
+        analyses = [create(name, trace) for name in ALL_ANALYSES]
+        result = MultiRunner(analyses).run(trace)
+        assert result.ok, (trial, result.failures)
+        # (a) every analysis agrees with its solo run, race for race
+        for name in ALL_ANALYSES:
+            solo = create(name, trace).run()
+            multi = result.report(name)
+            assert _race_key(multi) == _race_key(solo), (trial, name)
+            assert multi.events_processed == solo.events_processed == \
+                len(trace), (trial, name)
+        # (b) the race-subset hierarchy, in every optimization tier
+        for chain in HIERARCHY_CHAINS:
+            racy = [result.report(name).racy_vars for name in chain]
+            for weaker, stronger in zip(racy, racy[1:]):
+                assert weaker <= stronger, (trial, chain)
+
+
+def test_fuzz_single_iteration_property(fuzz_count):
+    """The engine iterates the event source exactly once, whatever the
+    trace shape (a one-shot source would raise otherwise)."""
+    from tests.test_engine import OneShotEvents
+
+    rng = random.Random(0xBEEF)
+    trials = max(fuzz_count // 10, 5)
+    for trial in range(trials):
+        trace = fuzzed_trace(rng, trial)
+        source = OneShotEvents(trace.events)
+        analyses = [create(name, trace) for name in ALL_ANALYSES]
+        result = MultiRunner(analyses).run(source)
+        assert source.iterations == 1
+        assert result.events_processed == len(trace)

@@ -205,6 +205,116 @@ class TestFormat:
         assert len(back) == 2
 
 
+class TestStreaming:
+    """The streaming reader: lazy parse, header protocol, one-shot."""
+
+    def _round_trip(self, trace):
+        from repro.trace.format import stream_trace
+        text = dumps_trace(trace)
+        stream = stream_trace(io.StringIO(text))
+        events = list(stream)
+        info = stream.info
+        assert info is not None
+        rebuilt = Trace(events, num_threads=info.num_threads,
+                        num_locks=info.num_locks, num_vars=info.num_vars)
+        assert dumps_trace(rebuilt) == text  # byte-identical
+        return stream
+
+    def test_round_trip_byte_identical_every_litmus(self):
+        from repro.workloads.litmus import LITMUS
+        for name, build in LITMUS.items():
+            self._round_trip(build())
+
+    def test_round_trip_byte_identical_figures(self):
+        from repro.workloads import figure1, figure2, figure3
+        for build in (figure1, figure2, figure3):
+            self._round_trip(build())
+
+    def test_round_trip_byte_identical_generator_workloads(self):
+        from repro.workloads import generate_trace, WorkloadSpec
+        for seed in (1, 2, 3):
+            spec = WorkloadSpec(name="rt", threads=3 + seed, events=2000,
+                                predictive_races=1, hb_races=1, seed=seed)
+            stream = self._round_trip(generate_trace(spec))
+            assert stream.events_read > 0
+
+    def test_header_parsed_into_info(self):
+        from repro.trace.format import stream_trace
+        stream = stream_trace(io.StringIO(
+            "# repro trace v1: threads=5 locks=2 vars=9\nT0 rd x0\n"))
+        assert stream.info.num_threads == 5
+        assert stream.info.num_locks == 2
+        assert stream.info.num_vars == 9
+        assert len(list(stream)) == 1
+
+    def test_headerless_text_streams_without_info(self):
+        from repro.trace.format import TraceFormatError, stream_trace
+        stream = stream_trace(io.StringIO("T0 rd x0\nT1 wr x0\n"))
+        assert stream.info is None
+        with pytest.raises(TraceFormatError, match="header"):
+            stream.require_info()
+        assert len(list(stream)) == 2
+
+    def test_stream_is_one_shot(self):
+        from repro.trace.format import stream_trace
+        stream = stream_trace(io.StringIO("T0 rd x0\n"))
+        list(stream)
+        with pytest.raises(RuntimeError, match="one-shot"):
+            iter(stream)
+
+    def test_malformed_line_raises_with_line_number(self):
+        from repro.trace.format import TraceFormatError, stream_trace
+        stream = stream_trace(io.StringIO(
+            "# repro trace v1: threads=1 locks=1 vars=1\n"
+            "T0 rd x0\n"
+            "T0 frobnicate x0\n"))
+        with pytest.raises(TraceFormatError, match="line 3") as exc:
+            list(stream)
+        assert exc.value.lineno == 3
+
+    def test_malformed_first_line_without_header(self):
+        from repro.trace.format import TraceFormatError, stream_trace
+        stream = stream_trace(io.StringIO("T0 rd\n"))
+        with pytest.raises(TraceFormatError, match="line 1") as exc:
+            list(stream)
+        assert exc.value.lineno == 1
+
+    def test_bad_site_reports_line(self):
+        with pytest.raises(TraceFormatError, match="line 2"):
+            loads_trace("# comment\nT0 rd x0 @zap\n")
+
+    def test_require_info_failure_closes_owned_file(self, tmp_path):
+        from repro.trace.format import TraceFormatError, stream_trace
+        path = tmp_path / "raw.trace"
+        path.write_text("T0 rd x0\n")
+        stream = stream_trace(str(path))
+        with pytest.raises(TraceFormatError):
+            stream.require_info()
+        assert stream._fp.closed
+
+    def test_stream_from_path_closes_file(self, tmp_path):
+        from repro.trace.format import stream_trace
+        path = tmp_path / "t.trace"
+        path.write_text("# repro trace v1: threads=1 locks=0 vars=1\n"
+                        "T0 rd x0 @1\n")
+        stream = stream_trace(str(path))
+        assert [e.target for e in stream] == [0]
+        assert stream._fp.closed
+
+    def test_load_trace_honors_declared_dimensions(self):
+        trace = loads_trace(
+            "# repro trace v1: threads=6 locks=3 vars=10\nT0 rd x0\n")
+        assert trace.num_threads == 6
+        assert trace.num_locks == 3
+        assert trace.num_vars == 10
+
+    def test_load_trace_grows_past_understated_header(self):
+        trace = loads_trace(
+            "# repro trace v1: threads=1 locks=0 vars=1\nT4 rd x7\n")
+        assert trace.num_threads == 5
+        assert trace.num_vars == 8
+
+
 @settings(max_examples=60, deadline=None)
 @given(st.integers(min_value=0, max_value=10_000))
 def test_format_round_trip_random(seed):
