@@ -15,6 +15,11 @@ scenarios:
   identical on both paths — dominates, and chunked replay holds the
   engine at parity with sequential re-iteration (within noise) while
   still needing only one pass.
+* **binary ingest**: raw streaming decode of the same 1M-event capture
+  in the v1 text format vs the v2 binary format
+  (:mod:`repro.trace.binfmt`) — varint decoding beats line
+  splitting/int-parsing by >= 2x, which is the dominant cost of the
+  whole offline streaming path.
 """
 
 import os
@@ -24,7 +29,8 @@ import time
 from benchmarks.conftest import write_result
 from repro.core.engine import MultiRunner, run_stream
 from repro.core.registry import MAIN_MATRIX, create
-from repro.trace.format import dump_trace
+from repro.trace.binfmt import BinaryTraceWriter
+from repro.trace.format import dump_trace, stream_trace
 from repro.workloads import generate_trace, WorkloadSpec
 
 #: All Table 3-6 configurations of the paper's main matrix.
@@ -107,6 +113,62 @@ def test_in_memory_single_pass_parity(results_dir):
     print(text)
     write_result(results_dir, "engine_inmemory.txt", text)
     assert ratio >= 0.75, text
+
+
+def test_binary_ingest_speedup(results_dir):
+    """v2 binary vs v1 text: raw streaming ingest of 1M events.
+
+    Times a bare drain of ``stream_trace`` (no analyses attached) so the
+    comparison isolates parse/decode cost — exactly what dominates the
+    streaming path's overhead.
+    """
+    n = 1_000_000
+    base = tempfile.mkdtemp()
+    text_path = os.path.join(base, "ingest.trace")
+    with open(text_path, "w") as fp:
+        fp.write("# repro trace v1: threads=2 locks=1 vars=4 "
+                 "events={}\n".format(n))
+        chunk = (
+            "T0 acq m0 @1\nT0 wr x0 @2\nT0 rel m0 @3\n"
+            "T1 acq m0 @4\nT1 wr x0 @5\nT1 rel m0 @6\n"
+            "T0 rd x1 @7\nT1 rd x2 @8\n"
+        )
+        for _ in range(n // 8):
+            fp.write(chunk)
+    binary_path = os.path.join(base, "ingest.bintrace")
+    source = stream_trace(text_path)
+    with source, BinaryTraceWriter(binary_path, source.require_info()) as w:
+        for event in source:
+            w.write(event)
+    assert w.events_written == n
+
+    def ingest(path):
+        def run():
+            t0 = time.perf_counter()
+            stream = stream_trace(path)
+            for _ in stream:
+                pass
+            dt = time.perf_counter() - t0
+            assert stream.events_read == n
+            return dt
+        return run
+
+    text_s, binary_s = _best_pair(ingest(text_path), ingest(binary_path),
+                                  repeats=2)
+    speedup = text_s / binary_s
+    text = ("trace ingest: v2 binary vs v1 text (raw streaming decode)\n"
+            "workload: {} events; text {} bytes, binary {} bytes "
+            "({:.1f}x smaller)\n"
+            "text: {:.3f}s ({:.2f}M ev/s)   binary: {:.3f}s "
+            "({:.2f}M ev/s)   speedup: {:.2f}x"
+            .format(n, os.path.getsize(text_path),
+                    os.path.getsize(binary_path),
+                    os.path.getsize(text_path) / os.path.getsize(binary_path),
+                    text_s, n / text_s / 1e6,
+                    binary_s, n / binary_s / 1e6, speedup))
+    print(text)
+    write_result(results_dir, "engine_binary_ingest.txt", text)
+    assert speedup >= 2.0, text
 
 
 def test_single_pass_reports_match_sequential():

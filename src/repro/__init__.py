@@ -96,10 +96,11 @@ def detect_races_stream(source, analyses=None,
                         sample_footprint_every: int = 0) -> MultiResult:
     """Analyze a recorded trace file in one bounded-memory streaming pass.
 
-    ``source`` is a path or open text handle of a trace written by
-    :func:`dump_trace`; the text is parsed lazily and the full trace is
-    never materialized.  ``analyses`` defaults to ``["st-wdc"]`` (the
-    paper's cheapest predictive configuration).
+    ``source`` is a path or open handle of a trace written by
+    :func:`dump_trace` — v1 text or v2 binary, autodetected from the
+    leading bytes; events are parsed lazily and the full trace is never
+    materialized.  ``analyses`` defaults to ``["st-wdc"]`` (the paper's
+    cheapest predictive configuration).
     """
     return run_stream(source, list(analyses or ["st-wdc"]),
                       sample_every=sample_footprint_every)

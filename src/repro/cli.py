@@ -8,15 +8,24 @@ vindicate on demand (§4.3)::
     python -m repro analyze huge.trace --stream -a st-wdc -a fto-hb
     python -m repro compare recorded.trace
     python -m repro compare --program xalan --scale 0.2 --seed 7
+    python -m repro convert recorded.trace recorded.bin
     python -m repro tables --table 4 --scale 0.5
     python -m repro generate --program xalan --scale 0.2 -o xalan.trace
     python -m repro characterize recorded.trace
 
 ``analyze --stream`` and ``compare`` run every requested analysis in a
 *single pass* over the events (:class:`repro.core.engine.MultiRunner`);
-with ``--stream`` the trace text is parsed lazily, so arbitrarily large
-captures are analyzed in bounded memory.  Unreadable or malformed trace
-files exit with status 2 (0 = no races, 1 = races found).
+with ``--stream`` the trace is parsed lazily, so arbitrarily large
+captures are analyzed in bounded memory.  Every subcommand accepts both
+trace formats — the v1 text format and the v2 binary format (>2x faster
+to ingest; see :mod:`repro.trace.binfmt`) — autodetecting from the
+file's leading bytes; ``convert`` translates between them (by default to
+the opposite of the input's format) and ``generate --binary`` records
+binary directly.
+
+Exit status contract: 0 = no races, 1 = races found, 2 = unreadable,
+malformed, or partially failed analysis.  2 takes precedence: a run that
+both finds races and fails an analysis exits 2, never a combined code.
 
 (Also installed behaviourally as ``python -m repro.cli``.)
 """
@@ -25,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 from typing import List, Optional
 
@@ -64,15 +74,17 @@ def _cmd_analyze(args) -> int:
                   "rerun without --stream", file=sys.stderr)
             return 2
         result = run_stream(args.trace, analyses, sample_every=sample)
+        races_found = 0
         for entry in result.entries:
             if entry.failure is not None:
                 print("{:<12} FAILED at event {}: {!r}".format(
                     entry.name, entry.failure.event_index,
                     entry.failure.error))
-                exit_code = 2
             else:
-                exit_code |= _print_report(entry.name, entry.report, args)
-        return exit_code
+                races_found |= _print_report(entry.name, entry.report, args)
+        # 2 beats 1: a partially failed run is unreliable even when the
+        # surviving analyses report races (documented 0/1/2 contract)
+        return 2 if not result.ok else races_found
     trace = load_trace(args.trace)
     for name in analyses:
         report = create(name, trace).run(sample_every=sample)
@@ -162,10 +174,55 @@ def _cmd_tables(args) -> int:
 
 def _cmd_generate(args) -> int:
     trace = dacapo_trace(args.program, scale=args.scale, cache=False)
-    with open(args.output, "w") as fp:
-        dump_trace(trace, fp)
-    print("wrote {} events ({} threads) to {}".format(
-        len(trace), trace.num_threads, args.output))
+    with open(args.output, "wb" if args.binary else "w") as fp:
+        dump_trace(trace, fp, binary=args.binary)
+    print("wrote {} events ({} threads) to {}{}".format(
+        len(trace), trace.num_threads, args.output,
+        " [binary]" if args.binary else ""))
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    from repro.trace.binfmt import BinaryTraceStream, BinaryTraceWriter
+    from repro.trace.format import format_event, header_line, stream_trace
+
+    # Opening the output truncates it while the input is still being
+    # lazily streamed — writing over the input would destroy the
+    # recording mid-read.
+    try:
+        same = os.path.samefile(args.input, args.output)
+    except OSError:  # output (or input) doesn't exist yet
+        same = os.path.abspath(args.input) == os.path.abspath(args.output)
+    if same:
+        print("error: convert cannot write over its input ({}); choose a "
+              "different output path".format(args.input), file=sys.stderr)
+        return 2
+    stream = stream_trace(args.input)
+    source_format = ("binary" if isinstance(stream, BinaryTraceStream)
+                     else "text")
+    target = args.to or ("text" if source_format == "binary" else "binary")
+    if stream.info is None:
+        # Header-less text: the dimensions a binary (or normalized text)
+        # header needs are only known after a full read, so materialize.
+        stream.close()
+        trace = load_trace(args.input)
+        with open(args.output,
+                  "wb" if target == "binary" else "w") as out:
+            dump_trace(trace, out, binary=(target == "binary"))
+        count = len(trace)
+    elif target == "binary":
+        with stream, BinaryTraceWriter(args.output, stream.info) as writer:
+            for event in stream:
+                writer.write(event)
+            count = writer.events_written
+    else:
+        with stream, open(args.output, "w") as out:
+            out.write(header_line(stream.info) + "\n")
+            for event in stream:
+                out.write(format_event(event) + "\n")
+            count = stream.events_read
+    print("converted {} events ({} -> {}) to {}".format(
+        count, source_format, target, args.output))
     return 0
 
 
@@ -241,7 +298,21 @@ def build_parser() -> argparse.ArgumentParser:
                           required=True)
     generate.add_argument("--scale", type=float, default=1.0)
     generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--binary", action="store_true",
+                          help="record in the v2 binary format (smaller, "
+                               ">2x faster to re-ingest)")
     generate.set_defaults(func=_cmd_generate)
+
+    convert = sub.add_parser(
+        "convert",
+        help="convert a trace between the v1 text and v2 binary formats")
+    convert.add_argument("input", help="trace file in either format "
+                                       "(autodetected)")
+    convert.add_argument("output", help="destination file")
+    convert.add_argument("--to", choices=("text", "binary"), default=None,
+                         help="target format (default: the opposite of "
+                              "the input's autodetected format)")
+    convert.set_defaults(func=_cmd_convert)
 
     char = sub.add_parser(
         "characterize", help="Table 2-style characteristics of a trace")

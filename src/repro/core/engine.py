@@ -260,14 +260,14 @@ def run_analyses(trace: Union[Trace, TraceInfo], names: Sequence[str],
 
 def run_stream(source, names: Sequence[str], sample_every: int = 0,
                progress: Optional[Callable[[int], None]] = None) -> MultiResult:
-    """Analyze a trace file (or open text handle) in one streaming pass.
+    """Analyze a trace file (or open handle) in one streaming pass.
 
-    The trace text is parsed lazily — the full trace is never held in
-    memory — so this is the bounded-memory path for large captures.  The
-    file must carry the ``# repro trace v1`` header (written by
-    :func:`repro.trace.format.dump_trace`), which declares the dimensions
-    analyses need up front; :class:`repro.trace.format.TraceFormatError`
-    is raised otherwise.
+    The trace — v1 text or v2 binary, autodetected from the leading
+    bytes — is parsed lazily, so this is the bounded-memory path for
+    large captures.  The file must declare its dimensions up front (the
+    ``# repro trace v1`` header or the always-present v2 binary header,
+    both written by :func:`repro.trace.format.dump_trace`);
+    :class:`repro.trace.format.TraceFormatError` is raised otherwise.
     """
     from repro.trace.format import stream_trace
 

@@ -24,6 +24,12 @@ from repro.trace.event import (
     is_read,
     is_write,
 )
+from repro.trace.binfmt import (
+    BinaryTraceStream,
+    BinaryTraceWriter,
+    dump_trace_binary,
+    dumps_trace_binary,
+)
 from repro.trace.format import (
     TraceFormatError,
     TraceStream,
@@ -33,10 +39,13 @@ from repro.trace.format import (
     loads_trace,
     stream_trace,
 )
+from repro.trace.stream import TraceStreamBase
 from repro.trace.trace import Trace, TraceInfo, WellFormednessError
 
 __all__ = [
     "ACQUIRE",
+    "BinaryTraceStream",
+    "BinaryTraceWriter",
     "Event",
     "FORK",
     "JOIN",
@@ -50,12 +59,15 @@ __all__ = [
     "TraceFormatError",
     "TraceInfo",
     "TraceStream",
+    "TraceStreamBase",
     "VOLATILE_READ",
     "VOLATILE_WRITE",
     "WRITE",
     "WellFormednessError",
     "dump_trace",
+    "dump_trace_binary",
     "dumps_trace",
+    "dumps_trace_binary",
     "is_access",
     "is_read",
     "is_write",

@@ -1,4 +1,4 @@
-"""A line-oriented text format for traces, with a streaming reader.
+"""Trace serialization: the v1 text format, and format autodetection.
 
 One event per line::
 
@@ -19,32 +19,69 @@ Streaming event protocol
 
 :func:`dump_trace` writes a header comment declaring the trace dimensions::
 
-    # repro trace v1: threads=4 locks=8 vars=64
+    # repro trace v1: threads=4 locks=8 vars=64 events=120000
 
-:func:`stream_trace` returns a :class:`TraceStream`: its ``info`` attribute
+(``volatiles=`` and ``classes=`` appear when nonzero; ``events=`` is a
+hint, 0/absent when unknown.  Unknown ``key=count`` fields are ignored
+for forward compatibility, but a header-prefixed line whose fields are
+malformed raises :class:`TraceFormatError` — silently dropping declared
+dimensions would surface later as a misleading "no header" error.)
+
+:func:`stream_trace` returns a one-shot stream: its ``info`` attribute
 is the :class:`~repro.trace.trace.TraceInfo` parsed from that header (or
 ``None`` for header-less text), and iterating it yields
-:class:`~repro.trace.event.Event` objects parsed lazily, one line at a
-time — the full :class:`~repro.trace.trace.Trace` is never materialized,
-so arbitrarily large captures are analyzed in bounded memory (feed the
-stream to :class:`repro.core.engine.MultiRunner`).  A stream is strictly
-one-shot: it cannot be rewound, and a second iteration raises
-:class:`RuntimeError`.  Malformed lines raise :class:`TraceFormatError`
-carrying the offending line number (``.lineno``).
+:class:`~repro.trace.event.Event` objects parsed lazily — the full
+:class:`~repro.trace.trace.Trace` is never materialized, so arbitrarily
+large captures are analyzed in bounded memory (feed the stream to
+:class:`repro.core.engine.MultiRunner`).  A stream is strictly one-shot:
+it cannot be rewound, and a second iteration raises
+:class:`RuntimeError`; it supports ``with`` for deterministic cleanup
+when abandoned early (the shared lifecycle lives in
+:class:`repro.trace.stream.TraceStreamBase`).  Malformed lines raise
+:class:`TraceFormatError` carrying the offending line number
+(``.lineno``).
 
-:func:`load_trace` is the materializing wrapper: it drains a stream into a
-:class:`~repro.trace.trace.Trace`, preferring header dimensions (so e.g. a
-declared thread count survives a round trip even when some threads logged
-no events).
+Format autodetection
+--------------------
+
+There are two on-disk formats: this text format (``# repro trace v1``
+header) and the v2 binary format of :mod:`repro.trace.binfmt`
+(``# repro trace v2`` magic + varint-encoded events; >2x faster to
+ingest).  :func:`stream_trace` and :func:`load_trace` sniff the leading
+bytes of the source and pick the right reader — paths, binary file
+objects (seekable or not), and text file objects all work, and no caller
+ever passes a format flag.  ``repro convert`` translates between the
+two; analysis entry points (``repro analyze --stream``, ``repro
+compare``, :func:`repro.detect_races_stream`) accept either format
+transparently.
+
+:func:`load_trace` is the materializing wrapper: it drains a stream into
+a :class:`~repro.trace.trace.Trace`, preferring header dimensions (so
+e.g. a declared thread count survives a round trip even when some
+threads logged no events).
 """
 
 from __future__ import annotations
 
 import io
-from typing import Iterator, Optional, TextIO, Union
+from typing import BinaryIO, Iterator, Optional, TextIO, Union
 
 from repro.trace.event import Event, KIND_NAMES, NAME_KINDS
+from repro.trace.stream import TraceFormatError, TraceStreamBase
 from repro.trace.trace import Trace, TraceInfo
+
+__all__ = [
+    "TraceFormatError",
+    "TraceStream",
+    "dump_trace",
+    "dumps_trace",
+    "format_event",
+    "header_line",
+    "load_trace",
+    "loads_trace",
+    "parse_event_line",
+    "stream_trace",
+]
 
 _PREFIX = {
     "rd": "x",
@@ -61,13 +98,39 @@ _PREFIX = {
 
 _HEADER_PREFIX = "# repro trace v1:"
 
+_HEADER_ATTRS = {
+    "threads": "num_threads",
+    "locks": "num_locks",
+    "vars": "num_vars",
+    "volatiles": "num_volatiles",
+    "classes": "num_classes",
+    "events": "num_events",
+}
 
-class TraceFormatError(ValueError):
-    """Raised on malformed trace text; ``lineno`` is the offending line."""
 
-    def __init__(self, message: str, lineno: int = 0):
-        super().__init__(message)
-        self.lineno = lineno
+def format_event(event: Event) -> str:
+    """One event as its text line (without the newline)."""
+    name = KIND_NAMES[event.kind]
+    return "T{} {} {}{} @{}".format(
+        event.tid, name, _PREFIX[name], event.target, event.site)
+
+
+def header_line(dims: Union[Trace, TraceInfo]) -> str:
+    """The ``# repro trace v1:`` header for ``dims`` (a :class:`Trace`
+    or :class:`TraceInfo`), without the newline.  ``volatiles=``,
+    ``classes=`` and ``events=`` are written only when nonzero."""
+    num_events = getattr(dims, "num_events", None)
+    if num_events is None:
+        num_events = len(dims)
+    line = "{} threads={} locks={} vars={}".format(
+        _HEADER_PREFIX, dims.num_threads, dims.num_locks, dims.num_vars)
+    if dims.num_volatiles:
+        line += " volatiles={}".format(dims.num_volatiles)
+    if dims.num_classes:
+        line += " classes={}".format(dims.num_classes)
+    if num_events:
+        line += " events={}".format(num_events)
+    return line
 
 
 def dumps_trace(trace: Trace) -> str:
@@ -77,14 +140,23 @@ def dumps_trace(trace: Trace) -> str:
     return out.getvalue()
 
 
-def dump_trace(trace: Trace, fp: TextIO) -> None:
-    """Serialize ``trace`` to an open text file."""
-    fp.write("{} threads={} locks={} vars={}\n".format(
-        _HEADER_PREFIX, trace.num_threads, trace.num_locks, trace.num_vars))
+def dump_trace(trace: Trace, fp, binary: Optional[bool] = None) -> None:
+    """Serialize ``trace`` to an open file.
+
+    ``binary=True`` writes the v2 binary format (``fp`` must be a binary
+    file), ``binary=False`` the v1 text format; the default ``None``
+    infers from the handle: raw/buffered byte streams get binary, text
+    streams (and duck-typed writers) get text.
+    """
+    if binary is None:
+        binary = isinstance(fp, (io.RawIOBase, io.BufferedIOBase))
+    if binary:
+        from repro.trace.binfmt import dump_trace_binary
+        dump_trace_binary(trace, fp)
+        return
+    fp.write(header_line(trace) + "\n")
     for e in trace.events:
-        name = KIND_NAMES[e.kind]
-        fp.write("T{} {} {}{} @{}\n".format(
-            e.tid, name, _PREFIX[name], e.target, e.site))
+        fp.write(format_event(e) + "\n")
 
 
 def _parse_id(token: str, lineno: int) -> int:
@@ -126,85 +198,52 @@ def parse_event_line(line: str, lineno: int) -> Optional[Event]:
     return Event(tid, kind, target, site)
 
 
-def _parse_header(line: str) -> Optional[TraceInfo]:
+def _parse_header(line: str, lineno: int) -> Optional[TraceInfo]:
     """Parse the ``# repro trace v1:`` header comment, if that's what
-    ``line`` is; malformed fields are ignored (it is just a comment)."""
+    ``line`` is.  Unknown ``key=count`` fields are ignored (forward
+    compatibility), but malformed fields raise — a header-prefixed line
+    declares dimensions, and dropping them silently turns into a
+    misleading "no header" failure much later."""
     if not line.startswith(_HEADER_PREFIX):
         return None
     info = TraceInfo()
     for token in line[len(_HEADER_PREFIX):].split():
-        key, _, value = token.partition("=")
-        if not value.isdigit():
-            continue
-        attr = {"threads": "num_threads", "locks": "num_locks",
-                "vars": "num_vars", "volatiles": "num_volatiles",
-                "classes": "num_classes", "events": "num_events"}.get(key)
+        key, eq, value = token.partition("=")
+        if not eq or not value.isdigit():
+            raise TraceFormatError(
+                "line {}: bad trace-header field {!r} (expected "
+                "key=count)".format(lineno, token), lineno)
+        attr = _HEADER_ATTRS.get(key)
         if attr is not None:
             setattr(info, attr, int(value))
     return info
 
 
-class TraceStream:
-    """A one-shot, lazily parsed event stream over trace text.
+class TraceStream(TraceStreamBase):
+    """A one-shot, lazily parsed event stream over v1 trace text.
 
-    Attributes
-    ----------
-    info:
-        :class:`TraceInfo` from the header comment, or None if absent.
-    events_read:
-        Events yielded so far (grows during iteration).
-
-    Iterating yields :class:`Event` objects without ever materializing the
-    trace.  The stream owns the file handle when constructed from a path
-    and closes it when exhausted (or on error).
+    The lifecycle (ownership, close-on-init-failure, one-shot iteration,
+    context-manager support) is shared with the binary reader — see
+    :class:`repro.trace.stream.TraceStreamBase`.  ``info`` is the
+    :class:`TraceInfo` from the header comment, or ``None`` if absent.
     """
 
-    def __init__(self, source: Union[TextIO, str]):
-        if isinstance(source, str):
-            self._fp: TextIO = open(source)
-            self._owns_fp = True
-        else:
-            self._fp = source
-            self._owns_fp = False
-        self._consumed = False
-        self.events_read = 0
+    _OPEN_MODE = "r"
+
+    def _read_header(self) -> None:
         # The header, when present, is the first line; peek at it so
         # ``info`` is available before iteration starts.
-        self._pending: Optional[str] = self._fp.readline()
-        self.info: Optional[TraceInfo] = None
+        try:
+            self._pending: Optional[str] = self._fp.readline()
+        except UnicodeDecodeError as exc:
+            raise TraceFormatError(
+                "line 1: trace is not valid text ({})".format(exc), 1)
         if self._pending:
-            self.info = _parse_header(self._pending)
+            self.info = _parse_header(self._pending, 1)
             if self.info is not None:
                 self._pending = None  # consumed as header
 
-    def close(self) -> None:
-        """Release the underlying file if this stream owns it (iterating
-        to exhaustion closes it automatically; this is for streams
-        abandoned before or during iteration)."""
-        if self._owns_fp:
-            self._fp.close()
-
-    def require_info(self) -> TraceInfo:
-        """The header dimensions, or TraceFormatError if there were none
-        (streaming analysis needs the thread count up front).  Closes the
-        stream on failure — it is unusable for analysis anyway."""
-        if self.info is None:
-            self.close()
-            raise TraceFormatError(
-                "trace has no '{} ...' header; streaming analysis needs "
-                "the declared dimensions (re-record with dump_trace, or "
-                "load the trace in full)".format(_HEADER_PREFIX))
-        return self.info
-
-    def __iter__(self) -> Iterator[Event]:
-        if self._consumed:
-            raise RuntimeError(
-                "TraceStream is one-shot and was already consumed; "
-                "re-open the source to iterate again")
-        self._consumed = True
-        return self._generate()
-
-    def _generate(self) -> Iterator[Event]:
+    def _events(self) -> Iterator[Event]:
         lineno = 0
         try:
             if self._pending is not None:
@@ -216,24 +255,90 @@ class TraceStream:
                     yield event
             elif self.info is not None:
                 lineno = 1  # the header line
-            for line in self._fp:
-                lineno += 1
-                event = parse_event_line(line, lineno)
-                if event is not None:
-                    self.events_read += 1
-                    yield event
+            try:
+                for line in self._fp:
+                    lineno += 1
+                    event = parse_event_line(line, lineno)
+                    if event is not None:
+                        self.events_read += 1
+                        yield event
+            except UnicodeDecodeError as exc:
+                raise TraceFormatError(
+                    "line {}: trace is not valid text ({})".format(
+                        lineno + 1, exc), lineno + 1)
         finally:
             if self._owns_fp:
                 self._fp.close()
 
 
-def stream_trace(source: Union[TextIO, str]) -> TraceStream:
-    """Open a lazily parsed one-shot event stream over trace text.
+class _PrefixedReader(io.RawIOBase):
+    """Re-attaches sniffed magic bytes in front of an unseekable binary
+    handle, so autodetection can fall back to the text reader without
+    losing the bytes it peeked at.  Closing the adapter never closes the
+    wrapped handle (it is not ours)."""
 
-    ``source`` is an open text file or a file path.  See
-    :class:`TraceStream` and the module docstring for the protocol.
+    def __init__(self, prefix: bytes, fp):
+        self._prefix = prefix
+        self._inner = fp
+
+    def readable(self) -> bool:
+        return True
+
+    def readinto(self, b) -> int:
+        if self._prefix:
+            k = min(len(b), len(self._prefix))
+            b[:k] = self._prefix[:k]
+            self._prefix = self._prefix[k:]
+            return k
+        data = self._inner.read(len(b))
+        if not data:
+            return 0
+        b[:len(data)] = data
+        return len(data)
+
+
+def stream_trace(source: Union[TextIO, BinaryIO, str]) -> TraceStreamBase:
+    """Open a lazily parsed one-shot event stream over a recorded trace,
+    autodetecting the format from the leading bytes.
+
+    ``source`` is a file path, an open binary file object, or an open
+    text file object.  A source starting with the v2 magic
+    (:data:`repro.trace.binfmt.MAGIC`) gets the binary reader; anything
+    else gets the text reader (text handles are taken at their word —
+    binary content in a text handle fails to decode anyway).  Both
+    readers honor the contract documented on
+    :class:`repro.trace.stream.TraceStreamBase`.
     """
-    return TraceStream(source)
+    from repro.trace import binfmt
+
+    if isinstance(source, str):
+        fp = open(source, "rb")
+        try:
+            prefix = fp.read(len(binfmt.MAGIC))
+            if prefix == binfmt.MAGIC:
+                return binfmt.BinaryTraceStream(fp, owns_fp=True,
+                                                prefix=prefix)
+            fp.seek(0)
+            text = io.TextIOWrapper(fp, encoding="utf-8")
+        except BaseException:
+            fp.close()
+            raise
+        return TraceStream(text, owns_fp=True)
+    probe = source.read(0)
+    if isinstance(probe, str):
+        return TraceStream(source)
+    # Binary handle: sniff the magic without assuming seekability.
+    prefix = b""
+    while len(prefix) < len(binfmt.MAGIC):
+        chunk = source.read(len(binfmt.MAGIC) - len(prefix))
+        if not chunk:
+            break
+        prefix += chunk
+    if prefix == binfmt.MAGIC:
+        return binfmt.BinaryTraceStream(source, prefix=prefix)
+    text = io.TextIOWrapper(_PrefixedReader(prefix, source),
+                            encoding="utf-8")
+    return TraceStream(text)
 
 
 def loads_trace(text: str, validate: bool = True) -> Trace:
@@ -242,7 +347,8 @@ def loads_trace(text: str, validate: bool = True) -> Trace:
 
 
 def load_trace(fp: Union[TextIO, str], validate: bool = True) -> Trace:
-    """Parse a trace from an open text file or a file path.
+    """Parse a trace from an open file or a file path (either format;
+    see :func:`stream_trace` for the autodetection rules).
 
     Built on :func:`stream_trace`; the header's declared dimensions are
     honored when they cover everything the events mention.
@@ -253,7 +359,9 @@ def load_trace(fp: Union[TextIO, str], validate: bool = True) -> Trace:
     derived = Trace(events, validate=validate)
     if info is None or (info.num_threads <= derived.num_threads
                         and info.num_locks <= derived.num_locks
-                        and info.num_vars <= derived.num_vars):
+                        and info.num_vars <= derived.num_vars
+                        and info.num_volatiles <= derived.num_volatiles
+                        and info.num_classes <= derived.num_classes):
         # header-less, or the header adds nothing over the events (the
         # common exact-header case): no second construction needed
         return derived
@@ -262,7 +370,7 @@ def load_trace(fp: Union[TextIO, str], validate: bool = True) -> Trace:
         num_threads=max(info.num_threads, derived.num_threads),
         num_locks=max(info.num_locks, derived.num_locks),
         num_vars=max(info.num_vars, derived.num_vars),
-        num_volatiles=derived.num_volatiles,
-        num_classes=derived.num_classes,
+        num_volatiles=max(info.num_volatiles, derived.num_volatiles),
+        num_classes=max(info.num_classes, derived.num_classes),
         validate=False,  # already validated just above
     )

@@ -1,0 +1,129 @@
+"""Shared lifecycle for one-shot trace event streams.
+
+Both trace formats — the v1 text format (:mod:`repro.trace.format`) and
+the v2 binary format (:mod:`repro.trace.binfmt`) — expose the same
+reader contract, and :class:`TraceStreamBase` is its single
+implementation:
+
+* **ownership** — constructed from a path, the stream opens and owns the
+  file handle and closes it when iteration finishes (exhaustion or
+  error); constructed from an open file object it does not close it,
+  unless ``owns_fp=True`` is passed (the format-autodetection path in
+  :func:`repro.trace.format.stream_trace` hands over wrapped handles
+  this way).
+* **close-on-init-failure** — header parsing happens during
+  construction; if it raises (truncated binary header, undecodable
+  bytes, malformed text header), an owned handle is closed before the
+  exception propagates, so no file descriptor leaks.
+* **one-shot iteration** — the stream can be iterated exactly once and
+  is never rewound; a second ``iter()`` raises :class:`RuntimeError`.
+  This is what lets the single-pass engine consume multi-gigabyte
+  captures in bounded memory.
+* **context-manager support** — ``with stream_trace(path) as s:`` closes
+  an owned handle on scope exit even when iteration is abandoned early.
+
+Subclasses implement two hooks: ``_read_header`` (called during
+construction; sets ``self.info`` when the source declares dimensions)
+and ``_events`` (the lazy event generator; must close an owned handle in
+a ``finally``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+from repro.trace.event import Event
+from repro.trace.trace import TraceInfo
+
+
+class TraceFormatError(ValueError):
+    """Raised on malformed trace input.
+
+    ``lineno`` is the offending line for text traces; binary traces have
+    no lines, so it stays 0 and the message carries the event index.
+    """
+
+    def __init__(self, message: str, lineno: int = 0):
+        super().__init__(message)
+        self.lineno = lineno
+
+
+class TraceStreamBase:
+    """Base of the one-shot trace readers (see the module docstring).
+
+    Attributes
+    ----------
+    info:
+        :class:`TraceInfo` with the declared dimensions, or ``None`` when
+        the source carries none (header-less text).
+    events_read:
+        Events yielded so far (grows during iteration; exact once the
+        stream is exhausted).
+    """
+
+    _OPEN_MODE = "r"
+
+    def __init__(self, source: Union[object, str],
+                 owns_fp: Optional[bool] = None):
+        if isinstance(source, str):
+            self._fp = open(source, self._OPEN_MODE)
+            self._owns_fp = True
+        else:
+            self._fp = source
+            self._owns_fp = bool(owns_fp)
+        self._consumed = False
+        self.events_read = 0
+        self.info: Optional[TraceInfo] = None
+        try:
+            self._read_header()
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _read_header(self) -> None:
+        """Consume the source's header, setting ``self.info``."""
+        raise NotImplementedError
+
+    def _events(self) -> Iterator[Event]:
+        """The lazy event generator (must close an owned fp when done)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the underlying file if this stream owns it (iterating
+        to exhaustion closes it automatically; this is for streams
+        abandoned before or during iteration)."""
+        if self._owns_fp:
+            self._fp.close()
+
+    def __enter__(self) -> "TraceStreamBase":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def require_info(self) -> TraceInfo:
+        """The declared dimensions, or TraceFormatError if there are none
+        (streaming analysis needs the thread count up front).  Closes the
+        stream on failure — it is unusable for analysis anyway."""
+        if self.info is None:
+            self.close()
+            raise TraceFormatError(
+                "trace has no '# repro trace v1: ...' header; streaming "
+                "analysis needs the declared dimensions (re-record with "
+                "dump_trace, or load the trace in full)")
+        return self.info
+
+    def __iter__(self) -> Iterator[Event]:
+        if self._consumed:
+            raise RuntimeError(
+                "trace stream is one-shot and was already consumed; "
+                "re-open the source to iterate again")
+        self._consumed = True
+        return self._events()

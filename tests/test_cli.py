@@ -133,6 +133,182 @@ class TestStreamFlag:
             assert "line 3" in err, argv
 
 
+class TestExitCodeContract:
+    def test_failure_beats_races(self, monkeypatch, capsys):
+        # regression: `exit_code |= _print_report(...)` used to combine
+        # races (1) with a failed analysis (2) into an undocumented 3;
+        # 2 must take precedence
+        from types import SimpleNamespace
+        import repro.cli as cli
+        from repro.core.engine import AnalysisFailure, EngineEntry, MultiResult
+
+        racy = EngineEntry(SimpleNamespace(name="st-wdc"))
+        racy.report = SimpleNamespace(static_count=1, dynamic_count=1,
+                                      races=[])
+        failed = EngineEntry(SimpleNamespace(name="fto-hb"))
+        failed.failure = AnalysisFailure("fto-hb", 3, ValueError("boom"))
+        result = MultiResult([racy, failed], events_processed=10)
+        monkeypatch.setattr(cli, "run_stream", lambda *a, **k: result)
+        code = cli.main(["analyze", "dummy.trace", "--stream",
+                         "-a", "st-wdc", "-a", "fto-hb"])
+        assert code == 2  # not 3
+        out = capsys.readouterr().out
+        assert "FAILED" in out and "st-wdc" in out
+
+    def test_failure_order_does_not_matter(self, monkeypatch, capsys):
+        # failure first, races second: the old code overwrote the 2 with
+        # `|= 1` arithmetic; the result must still be 2
+        from types import SimpleNamespace
+        import repro.cli as cli
+        from repro.core.engine import AnalysisFailure, EngineEntry, MultiResult
+
+        failed = EngineEntry(SimpleNamespace(name="fto-hb"))
+        failed.failure = AnalysisFailure("fto-hb", 0, ValueError("boom"))
+        racy = EngineEntry(SimpleNamespace(name="st-wdc"))
+        racy.report = SimpleNamespace(static_count=2, dynamic_count=2,
+                                      races=[])
+        result = MultiResult([failed, racy], events_processed=10)
+        monkeypatch.setattr(cli, "run_stream", lambda *a, **k: result)
+        code = cli.main(["analyze", "dummy.trace", "--stream"])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_stream_races_only_still_one(self, fig1_path):
+        assert main(["analyze", fig1_path, "--stream", "-a", "st-wdc"]) == 1
+
+
+class TestConvert:
+    def _text_path(self, tmp_path, trace, name="in.trace"):
+        path = tmp_path / name
+        with open(path, "w") as fp:
+            dump_trace(trace, fp)
+        return str(path)
+
+    def test_round_trip_byte_identical(self, tmp_path, capsys):
+        from repro.workloads.litmus import LITMUS
+        for i, (name, build) in enumerate(sorted(LITMUS.items())):
+            src = self._text_path(tmp_path, build(), "in{}.trace".format(i))
+            binary = str(tmp_path / "mid{}.bin".format(i))
+            back = str(tmp_path / "out{}.trace".format(i))
+            assert main(["convert", src, binary]) == 0
+            assert main(["convert", binary, back]) == 0
+            with open(src, "rb") as a, open(back, "rb") as b:
+                assert a.read() == b.read(), name
+        capsys.readouterr()
+
+    def test_round_trip_generator_workload(self, tmp_path, capsys):
+        from repro.workloads.generator import generate_trace
+        from repro.workloads.spec import WorkloadSpec
+        trace = generate_trace(WorkloadSpec(
+            name="cv", threads=5, events=4000, predictive_races=1, seed=7))
+        src = self._text_path(tmp_path, trace)
+        binary = str(tmp_path / "mid.bin")
+        back = str(tmp_path / "out.trace")
+        main(["convert", src, binary])
+        main(["convert", binary, back])
+        out = capsys.readouterr().out
+        assert "text -> binary" in out and "binary -> text" in out
+        with open(src, "rb") as a, open(back, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_default_direction_autodetects(self, fig1_path, tmp_path,
+                                           capsys):
+        binary = str(tmp_path / "f.bin")
+        assert main(["convert", fig1_path, binary]) == 0
+        assert "text -> binary" in capsys.readouterr().out
+        text = str(tmp_path / "f.trace")
+        assert main(["convert", binary, text]) == 0
+        assert "binary -> text" in capsys.readouterr().out
+
+    def test_explicit_to_same_format_normalizes(self, fig1_path, tmp_path,
+                                                capsys):
+        copy = str(tmp_path / "copy.trace")
+        assert main(["convert", fig1_path, copy, "--to", "text"]) == 0
+        capsys.readouterr()
+        with open(fig1_path, "rb") as a, open(copy, "rb") as b:
+            assert a.read() == b.read()
+
+    def test_headerless_text_converts(self, tmp_path, capsys):
+        src = tmp_path / "raw.trace"
+        src.write_text("T0 wr x0 @1\nT1 rd x0 @2\n")
+        binary = str(tmp_path / "raw.bin")
+        assert main(["convert", str(src), binary]) == 0
+        capsys.readouterr()
+        code = main(["analyze", binary, "-a", "st-wdc"])
+        assert code == 1  # the unprotected write/read pair races
+        capsys.readouterr()
+
+    def test_refuses_to_overwrite_input(self, fig1_path, tmp_path, capsys):
+        # writing over the input would truncate it mid-stream and
+        # destroy the recording
+        original = open(fig1_path, "rb").read()
+        code = main(["convert", fig1_path, fig1_path, "--to", "binary"])
+        assert code == 2
+        assert "over its input" in capsys.readouterr().err
+        assert open(fig1_path, "rb").read() == original
+        link = tmp_path / "alias.trace"
+        os.symlink(fig1_path, link)
+        code = main(["convert", fig1_path, str(link)])
+        assert code == 2
+        capsys.readouterr()
+        assert open(fig1_path, "rb").read() == original
+
+    def test_missing_input_exit_code(self, tmp_path, capsys):
+        code = main(["convert", str(tmp_path / "nope.trace"),
+                     str(tmp_path / "out.bin")])
+        assert code == 2
+        assert "nope.trace" in capsys.readouterr().err
+
+    def test_corrupt_input_exit_code(self, tmp_path, capsys):
+        from repro.trace.binfmt import MAGIC
+        bad = tmp_path / "cut.bin"
+        bad.write_bytes(MAGIC + b"\x80")
+        code = main(["convert", str(bad), str(tmp_path / "out.trace")])
+        assert code == 2
+        assert "truncated" in capsys.readouterr().err
+
+
+class TestBinaryTransparency:
+    @pytest.fixture
+    def fig1_binary_path(self, fig1_path, tmp_path, capsys):
+        binary = str(tmp_path / "fig1.bin")
+        main(["convert", fig1_path, binary])
+        capsys.readouterr()
+        return binary
+
+    def test_analyze_binary_matches_text(self, fig1_path, fig1_binary_path,
+                                         capsys):
+        code_text = main(["analyze", fig1_path, "-a", "st-wdc"])
+        out_text = capsys.readouterr().out
+        code_bin = main(["analyze", fig1_binary_path, "-a", "st-wdc"])
+        out_bin = capsys.readouterr().out
+        assert code_bin == code_text == 1
+        assert out_bin == out_text
+
+    def test_stream_analyze_binary(self, fig1_binary_path, capsys):
+        code = main(["analyze", fig1_binary_path, "--stream",
+                     "-a", "st-wdc", "-a", "fto-hb"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "st-wdc" in out and "fto-hb" in out
+
+    def test_compare_binary(self, fig1_binary_path, capsys):
+        code = main(["compare", fig1_binary_path, "--stream",
+                     "-a", "fto-hb", "-a", "st-dc"])
+        assert code == 1
+        assert "hierarchy" in capsys.readouterr().out
+
+    def test_generate_binary_then_analyze(self, tmp_path, capsys):
+        out_path = str(tmp_path / "pmd.bin")
+        code = main(["generate", "--program", "pmd", "--scale", "0.1",
+                     "-o", out_path, "--binary"])
+        assert code == 0
+        assert "[binary]" in capsys.readouterr().out
+        code = main(["characterize", out_path])
+        assert code == 0
+        assert "NSEAs" in capsys.readouterr().out
+
+
 class TestCompare:
     def test_compare_trace_file(self, fig1_path, capsys):
         code = main(["compare", fig1_path])

@@ -216,7 +216,9 @@ class TestStreaming:
         info = stream.info
         assert info is not None
         rebuilt = Trace(events, num_threads=info.num_threads,
-                        num_locks=info.num_locks, num_vars=info.num_vars)
+                        num_locks=info.num_locks, num_vars=info.num_vars,
+                        num_volatiles=info.num_volatiles,
+                        num_classes=info.num_classes)
         assert dumps_trace(rebuilt) == text  # byte-identical
         return stream
 
@@ -307,6 +309,40 @@ class TestStreaming:
         assert trace.num_threads == 6
         assert trace.num_locks == 3
         assert trace.num_vars == 10
+
+    def test_malformed_header_field_raises(self):
+        # regression: a header-prefixed line with bad fields used to
+        # parse to default dimensions, silently dropping the declared
+        # ones and surfacing much later as a misleading failure
+        from repro.trace.format import TraceFormatError, stream_trace
+        with pytest.raises(TraceFormatError, match="line 1") as exc:
+            stream_trace(io.StringIO(
+                "# repro trace v1: threads=x4 locks=1 vars=1\nT0 rd x0\n"))
+        assert exc.value.lineno == 1
+        assert "threads=x4" in str(exc.value)
+
+    def test_header_field_without_value_raises(self):
+        from repro.trace.format import TraceFormatError, stream_trace
+        with pytest.raises(TraceFormatError, match="header field"):
+            stream_trace(io.StringIO("# repro trace v1: bogus\n"))
+
+    def test_unknown_header_keys_ignored(self):
+        # forward compatibility: well-formed key=count fields from a
+        # future writer must not break this reader
+        from repro.trace.format import stream_trace
+        stream = stream_trace(io.StringIO(
+            "# repro trace v1: threads=3 locks=1 vars=2 shiny=9\n"))
+        assert stream.info.num_threads == 3
+
+    def test_header_round_trips_all_dimensions(self):
+        from repro.trace.format import stream_trace
+        trace = Trace([Event(0, READ, 0)], num_threads=4, num_locks=2,
+                      num_vars=3, num_volatiles=5, num_classes=6)
+        stream = stream_trace(io.StringIO(dumps_trace(trace)))
+        info = stream.info
+        assert (info.num_threads, info.num_locks, info.num_vars,
+                info.num_volatiles, info.num_classes, info.num_events) == \
+            (4, 2, 3, 5, 6, 1)
 
     def test_load_trace_grows_past_understated_header(self):
         trace = loads_trace(
