@@ -8,7 +8,7 @@
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import jsonable, write_result
 from repro.core.fto import FTODC
 from repro.core.smarttrack import SmartTrackDC
 from repro.core.unopt import UnoptDC
@@ -39,4 +39,6 @@ def test_epoch_queues_use_less_memory(benchmark, meas, results_dir):
     write_result(results_dir, "ablation_rule_b.txt",
                  "SmartTrack epoch queues: {} bytes\n"
                  "FTO vector-clock queues: {} bytes".format(
-                     st_bytes, fto_bytes))
+                     st_bytes, fto_bytes),
+                 data=jsonable({"st_bytes": st_bytes,
+                                "fto_bytes": fto_bytes}))

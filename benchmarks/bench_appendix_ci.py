@@ -3,7 +3,7 @@ intervals (3 trials at reduced scale to keep the suite fast)."""
 
 import pytest
 
-from benchmarks.conftest import bench_scale, write_result
+from benchmarks.conftest import bench_scale, jsonable, write_result
 from repro.harness.measure import Measurements
 from repro.harness.tables import table_ci
 
@@ -17,7 +17,8 @@ def test_write_time_cis(benchmark, meas_trials, results_dir):
     text, data = benchmark.pedantic(
         table_ci, args=(meas_trials, "time"), rounds=1, iterations=1)
     assert data["avrora"]["fto-hb"][0] > 0
-    write_result(results_dir, "table8_time_ci.txt", text)
+    write_result(results_dir, "table8_time_ci.txt", text,
+                 data=jsonable(data))
 
 
 def test_write_memory_cis(benchmark, meas_trials, results_dir):
@@ -27,4 +28,5 @@ def test_write_memory_cis(benchmark, meas_trials, results_dir):
     for prog, cells in data.items():
         for name, (m, half) in cells.items():
             assert half <= 0.01 * m + 1e-9
-    write_result(results_dir, "table9_memory_ci.txt", text)
+    write_result(results_dir, "table9_memory_ci.txt", text,
+                 data=jsonable(data))

@@ -5,7 +5,7 @@ races and refutation of Figure 3's false WDC race."""
 import pytest
 
 import repro
-from benchmarks.conftest import write_result
+from benchmarks.conftest import jsonable, write_result
 from repro.workloads.figures import ALL_FIGURES
 
 MATRIX = ["fto-hb", "unopt-wcp", "st-wcp", "unopt-dc", "fto-dc", "st-dc",
@@ -26,7 +26,7 @@ def test_figure_matrix(benchmark, figure, results_dir):
         lines.append("  {:<10} {}".format(
             name, sorted(trace.name_of("var", v) for v in racy)))
     write_result(results_dir, "figure_{}.txt".format(figure),
-                 "\n".join(lines))
+                 "\n".join(lines), data=jsonable(results))
 
 
 def test_vindication(benchmark, results_dir):
@@ -42,4 +42,5 @@ def test_vindication(benchmark, results_dir):
     verdicts = benchmark.pedantic(vindicate_all, rounds=1, iterations=1)
     assert verdicts == {"figure1": "vindicated", "figure2": "vindicated",
                         "figure3": "refuted"}
-    write_result(results_dir, "figure_vindication.txt", repr(verdicts))
+    write_result(results_dir, "figure_vindication.txt", repr(verdicts),
+                 data=jsonable(verdicts))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import jsonable, write_result
 from repro.harness.tables import table12
 
 
@@ -15,4 +15,4 @@ def test_write_table12(benchmark, meas, results_dir):
         if reads["total"]:
             fast = reads["OwnExcl"] + reads["OwnShared"] + reads["Excl"]
             assert fast > 50.0, prog
-    write_result(results_dir, "table12.txt", text)
+    write_result(results_dir, "table12.txt", text, data=jsonable(data))

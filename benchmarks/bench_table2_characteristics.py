@@ -6,7 +6,7 @@ benchmarks the characteristics pass itself.
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import jsonable, write_result
 from repro.harness.tables import table2
 from repro.workloads.dacapo import program_names
 from repro.workloads.stats import characterize
@@ -25,4 +25,4 @@ def test_write_table2(benchmark, meas, results_dir):
     text, data = benchmark.pedantic(table2, args=(meas,),
                                     rounds=1, iterations=1)
     assert len(data["rows"]) == 10
-    write_result(results_dir, "table2.txt", text)
+    write_result(results_dir, "table2.txt", text, data=jsonable(data))

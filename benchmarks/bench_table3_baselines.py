@@ -3,7 +3,7 @@ vindication constraint graph)."""
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import jsonable, write_result
 from repro.core.registry import create
 from repro.harness.tables import TABLE3_ANALYSES, table3
 from repro.workloads.dacapo import program_names
@@ -25,4 +25,4 @@ def test_write_table3(benchmark, meas, results_dir):
     for prog in program_names():
         assert data["memory"][prog]["unopt-dc-g"] >= \
             data["memory"][prog]["unopt-dc"]
-    write_result(results_dir, "table3.txt", text)
+    write_result(results_dir, "table3.txt", text, data=jsonable(data))

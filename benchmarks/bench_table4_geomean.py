@@ -3,7 +3,7 @@ matrix, plus the paper's headline speedup claims (§5.5)."""
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import jsonable, write_result
 from repro.harness.tables import headline_summary, table4
 
 
@@ -21,4 +21,5 @@ def test_write_table4_and_headline(benchmark, meas, results_dir):
     mem = data["memory"]
     for rel in ("wcp", "dc", "wdc"):
         assert mem[(rel, "unopt")] > mem[(rel, "st")]
-    write_result(results_dir, "table4.txt", text + "\n" + summary)
+    write_result(results_dir, "table4.txt", text + "\n" + summary,
+                 data=jsonable({"table": data, "headline": vals}))

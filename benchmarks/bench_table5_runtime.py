@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import jsonable, write_result
 from repro.core.registry import MAIN_MATRIX, create
 from repro.harness.tables import table5
 from repro.workloads.dacapo import program_names
@@ -23,4 +23,4 @@ def test_write_table5(benchmark, meas, results_dir):
     # h2 and xalan benefit most from the CCS optimizations (paper §5.3):
     for prog in ("h2", "xalan"):
         assert data[prog][("dc", "st")] < data[prog][("dc", "fto")] / 2
-    write_result(results_dir, "table5.txt", text)
+    write_result(results_dir, "table5.txt", text, data=jsonable(data))

@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import jsonable, write_result
 from repro.harness.tables import table6
 from repro.workloads.dacapo import program_names
 
@@ -13,4 +13,4 @@ def test_write_table6(benchmark, meas, results_dir):
     for prog in program_names():
         # predictive metadata costs more than HB's (paper Table 6)
         assert data[prog][("dc", "unopt")] >= data[prog][("hb", "unopt")]
-    write_result(results_dir, "table6.txt", text)
+    write_result(results_dir, "table6.txt", text, data=jsonable(data))

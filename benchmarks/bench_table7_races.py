@@ -2,7 +2,7 @@
 
 import pytest
 
-from benchmarks.conftest import write_result
+from benchmarks.conftest import jsonable, write_result
 from repro.harness.tables import table7
 from repro.workloads.dacapo import PAPER_STATIC_RACES, program_names
 
@@ -20,4 +20,4 @@ def test_write_table7(benchmark, meas, results_dir):
         dc = data[prog][("dc", "fto")][0]
         expect = PAPER_STATIC_RACES[prog]
         assert dc - hb > 0 and expect["predictive"] > 0
-    write_result(results_dir, "table7.txt", text)
+    write_result(results_dir, "table7.txt", text, data=jsonable(data))

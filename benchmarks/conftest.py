@@ -2,10 +2,17 @@
 
 Every paper table/figure has a bench module; measured cells are shared
 through a session-scoped :class:`~repro.harness.measure.Measurements`, and
-each module writes its regenerated table into ``bench_results/``.
+each module writes its regenerated table into ``bench_results/``.  Modules
+that pass structured ``data`` to :func:`write_result` also get a
+machine-readable ``bench_results/<name>.json`` sibling (timestamped), so
+the perf trajectory is trackable across PRs and CI runs.
 
 Workload scale defaults to 0.5 of the calibrated event budgets; set
 ``REPRO_BENCH_SCALE`` (e.g. ``=1.0``) for full-size runs.
+
+Perf assertions go through :func:`gate`; setting ``REPRO_BENCH_NO_GATE=1``
+turns them into warnings (CI runs the suite for trend capture on shared
+runners whose timings are not gate-worthy).
 
 ``bench_*.py`` modules don't match pytest's default ``test_*`` pattern;
 the ``pytest_collect_file`` hook below collects them — but only when the
@@ -14,7 +21,10 @@ benchmarks -q`` or a single ``bench_*.py`` path), so the plain tier-1
 test run never drags the benchmark suite in.
 """
 
+import json
 import os
+import time
+import warnings
 
 import pytest
 
@@ -66,6 +76,56 @@ def results_dir() -> str:
     return path
 
 
-def write_result(results_dir: str, name: str, text: str) -> None:
+def write_result(results_dir: str, name: str, text: str,
+                 data: dict = None) -> None:
+    """Write one human-readable result file, plus a JSON sibling.
+
+    ``data`` (a JSON-serializable dict — workload dimensions, events/s,
+    ratios, ...) lands in ``<stem>.json`` next to the ``.txt``, wrapped
+    with the bench name and a UTC timestamp.
+    """
     with open(os.path.join(results_dir, name), "w") as fp:
         fp.write(text + "\n")
+    if data is not None:
+        stem = os.path.splitext(name)[0]
+        payload = {
+            "bench": stem,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            "scale": bench_scale(),
+        }
+        payload.update(data)
+        with open(os.path.join(results_dir, stem + ".json"), "w") as fp:
+            json.dump(payload, fp, indent=2, sort_keys=True)
+            fp.write("\n")
+
+
+def jsonable(obj):
+    """Recursively coerce a table-builder data dict to JSON-serializable
+    form (tuple keys become "/"-joined strings, tuples become lists)."""
+    if isinstance(obj, dict):
+        return {
+            ("/".join(map(str, k)) if isinstance(k, tuple) else str(k)):
+                jsonable(v)
+            for k, v in obj.items()
+        }
+    if isinstance(obj, (set, frozenset)):
+        items = [jsonable(v) for v in obj]
+        try:
+            return sorted(items)
+        except TypeError:
+            return items
+    if isinstance(obj, (list, tuple)):
+        return [jsonable(v) for v in obj]
+    if isinstance(obj, (int, float, str, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def gate(condition: bool, text: str) -> None:
+    """Assert a perf target — or warn when ``REPRO_BENCH_NO_GATE`` is set
+    (CI trend-capture runs on shared runners skip hard perf gating)."""
+    if os.environ.get("REPRO_BENCH_NO_GATE"):
+        if not condition:
+            warnings.warn("perf gate skipped (REPRO_BENCH_NO_GATE): " + text)
+        return
+    assert condition, text

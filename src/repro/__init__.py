@@ -71,13 +71,18 @@ __all__ = [
 
 
 def detect_races(trace: Trace, analysis: str = "st-wdc",
-                 sample_footprint_every: int = 0) -> RaceReport:
+                 sample_footprint_every: int = 0,
+                 collect_cases: bool = False) -> RaceReport:
     """Run one analysis over a trace and return its race report.
 
     ``analysis`` is a registry name (see :data:`ANALYSIS_NAMES`); the
     default is SmartTrack-WDC, the paper's cheapest predictive analysis.
+    ``collect_cases=True`` fills the report's ``case_counts`` (Table 12);
+    it is off by default because the counting costs a dict update on
+    nearly every access.
     """
-    return create(analysis, trace).run(sample_every=sample_footprint_every)
+    return create(analysis, trace, collect_cases=collect_cases).run(
+        sample_every=sample_footprint_every)
 
 
 def detect_races_multi(trace: Trace, analyses=None,

@@ -5,15 +5,20 @@ the paper (§2.4, §4.1):
 
 * :class:`~repro.clocks.vector_clock.VectorClock` — a map ``Tid -> Val``
   with pointwise join (``⊔``) and pointwise comparison (``⊑``).
-* Epochs — scalars ``c@t`` represented as ``(c, t)`` tuples, with the
-  ``e ⪯ C`` ordering check against a vector clock.
+* Epochs — scalars ``c@t`` packed into single ints
+  (``c << TID_BITS | t``; see :mod:`repro.clocks.epoch` and DESIGN.md §1),
+  with the ``e ⪯ C`` ordering check against a vector clock.
 """
 
 from repro.clocks.epoch import (
     EPOCH_BOTTOM,
+    MAX_TID,
+    TID_BITS,
+    TID_MASK,
     clock_of,
     epoch,
     epoch_leq,
+    pack,
     tid_of,
 )
 from repro.clocks.vector_clock import INF, VectorClock
@@ -21,9 +26,13 @@ from repro.clocks.vector_clock import INF, VectorClock
 __all__ = [
     "EPOCH_BOTTOM",
     "INF",
+    "MAX_TID",
+    "TID_BITS",
+    "TID_MASK",
     "VectorClock",
     "clock_of",
     "epoch",
     "epoch_leq",
+    "pack",
     "tid_of",
 ]

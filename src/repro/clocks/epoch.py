@@ -5,36 +5,55 @@ performed the access.  FastTrack's insight is that a single epoch usually
 suffices to represent the last write (and often the last read) to a
 variable, replacing an O(T) vector clock with an O(1) scalar.
 
-Epochs are represented as ``(c, t)`` tuples.  The uninitialized epoch ``⊥e``
-is :data:`EPOCH_BOTTOM` (``None``), which compares as "ordered before
+Epochs are *packed integers*: ``c@t`` is ``c << TID_BITS | t``.  A packed
+epoch is one ``int`` — no tuple allocation per access, same-epoch checks
+are a single ``==`` against the current thread's packed epoch, and the
+components unpack with a shift and a mask.  ``TID_BITS`` fixes the thread
+namespace at 2**16 ids; traces declare their thread count up front, and
+:class:`~repro.core.base.VectorClockAnalysis` rejects dimensions that do
+not fit (``MAX_TID``).  The uninitialized epoch ``⊥e`` stays
+:data:`EPOCH_BOTTOM` (``None``), which compares as "ordered before
 everything".
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 from repro.clocks.vector_clock import VectorClock
 
-Epoch = Tuple[int, int]
+#: Bits of a packed epoch reserved for the thread id.
+TID_BITS = 16
+
+#: Mask extracting the thread id from a packed epoch.
+TID_MASK = (1 << TID_BITS) - 1
+
+#: Largest representable thread id (traces must fit their tids in it).
+MAX_TID = TID_MASK
+
+Epoch = int
 
 #: The uninitialized epoch ``⊥e``.
 EPOCH_BOTTOM: Optional[Epoch] = None
 
 
-def epoch(clock: int, tid: int) -> Epoch:
-    """Build the epoch ``clock@tid``."""
-    return (clock, tid)
+def pack(clock: int, tid: int) -> Epoch:
+    """Pack the epoch ``clock@tid`` into a single int."""
+    return clock << TID_BITS | tid
+
+
+#: Alias kept for the original constructor name.
+epoch = pack
 
 
 def clock_of(e: Epoch) -> int:
     """The clock component ``c`` of ``c@t``."""
-    return e[0]
+    return e >> TID_BITS
 
 
 def tid_of(e: Epoch) -> int:
     """The thread component ``t`` of ``c@t``."""
-    return e[1]
+    return e & TID_MASK
 
 
 def epoch_leq(e: Optional[Epoch], vc: VectorClock, self_tid: int) -> bool:
@@ -47,5 +66,5 @@ def epoch_leq(e: Optional[Epoch], vc: VectorClock, self_tid: int) -> bool:
     """
     if e is None:
         return True
-    c, t = e
-    return t == self_tid or c <= vc[t]
+    t = e & TID_MASK
+    return t == self_tid or (e >> TID_BITS) <= vc[t]

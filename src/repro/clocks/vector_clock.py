@@ -44,10 +44,19 @@ class VectorClock(list):
         return VectorClock(self)
 
     def join(self, other: "VectorClock") -> None:
-        """Pointwise join: ``self ← self ⊔ other`` (in place)."""
-        for i, v in enumerate(other):
+        """Pointwise join: ``self ← self ⊔ other`` (in place).
+
+        Joining a clock with itself (by reference) is the identity; the
+        shared-HB engine mode hands several analyses literally the same
+        clock objects, so equal-reference joins are worth a pointer check.
+        """
+        if other is self:
+            return
+        i = 0
+        for v in other:
             if v > self[i]:
                 self[i] = v
+            i += 1
 
     def joined(self, other: "VectorClock") -> "VectorClock":
         """Pointwise join returning a new clock: ``self ⊔ other``."""
@@ -57,8 +66,10 @@ class VectorClock(list):
 
     def leq(self, other: "VectorClock") -> bool:
         """Pointwise comparison ``self ⊑ other``."""
-        for i, v in enumerate(self):
-            if v > other[i]:
+        if other is self:
+            return True
+        for a, b in zip(self, other):
+            if a > b:
                 return False
         return True
 
@@ -72,6 +83,11 @@ class VectorClock(list):
         contain program order — skipping the own component is required for
         correctness, not just an optimization (see DESIGN.md §4).
         """
+        if other is self:
+            return True
+        # enumerate + subscript measures faster here than zip + counter:
+        # in the common all-ordered case the `and` arm short-circuits,
+        # so a separate counter increment would dominate.
         for i, v in enumerate(self):
             if v > other[i] and i != skip:
                 return False

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.clocks.epoch import MAX_TID, TID_BITS
 from repro.clocks.vector_clock import VectorClock
 from repro.trace.event import (
     ACQUIRE,
@@ -170,22 +171,53 @@ class RaceReport:
             self.events_processed)
 
 
+def _count_disabled(case: str) -> None:
+    """Stand-in for :meth:`Analysis._count` when case counting is off."""
+
+
 class Analysis:
-    """Abstract analysis: per-event handlers driven over a trace."""
+    """Abstract analysis: per-event handlers driven over a trace.
+
+    ``collect_cases=True`` turns on per-case counting (``case_counts`` in
+    the report; paper Table 12).  It is *off* by default: the count is a
+    dict update on nearly every access, which default runs should not pay.
+    """
 
     name = "abstract"
     relation = "?"
     tier = "?"
     #: predictive analyses increment the local clock at acquires (§5.1)
     BUMP_AT_ACQUIRE = False
+    #: True when repeated same-(thread, kind, variable) accesses within
+    #: one epoch are no-ops for this analysis (the [Same Epoch] fast
+    #: paths of §4.1 / §5.1).  The engine's shared same-epoch filter
+    #: only drops events when *every* registered analysis declares this;
+    #: subclasses without the fast-path semantics must leave it False.
+    #: Declaring it also promises the thread's local clock advances
+    #: *only* at the kinds marked in
+    #: :data:`repro.core.engine._EPOCH_ENDERS` (acquire, release, fork,
+    #: volatiles, static init) — the filter's epoch boundaries;
+    #: ``tests/test_engine.py`` cross-checks that table against every
+    #: registry analysis's observed bump sites.
+    SAME_EPOCH_SKIP = False
 
-    def __init__(self, trace: Trace):
+    def __init__(self, trace: Trace, collect_cases: bool = False):
         # ``trace`` may be a full Trace or a TraceInfo (dimensions only);
         # only run() requires materialized events.
         self.trace = trace
         self.races: List[RaceRecord] = []
         self._events_processed = 0
         self._dispatch = None  # compiled lazily by dispatch_table()
+        if collect_cases:
+            self.case_counts: Optional[Dict[str, int]] = {}
+        else:
+            self.case_counts = None
+            self._count = _count_disabled  # type: ignore[assignment]
+
+    def _count(self, case: str) -> None:
+        """Bump one case counter (only bound when ``collect_cases``)."""
+        counts = self.case_counts
+        counts[case] = counts.get(case, 0) + 1
 
     # -- handlers (overridden by concrete analyses) ---------------------
     def read(self, t: int, x: int, i: int, site: int) -> None:
@@ -242,6 +274,12 @@ class Analysis:
         table externally via :class:`repro.core.engine.MultiRunner` and
         collect the report with :meth:`finish`.
         """
+        if not (getattr(self, "_hb_owner", True)
+                and getattr(self, "_cc_owner", True)):
+            raise RuntimeError(
+                "{} reads clock state from an engine-shared bank and "
+                "cannot be run solo; create a fresh instance".format(
+                    self.name))
         handlers = self.dispatch_table()
         events = self.trace.events
         peak = 0
@@ -270,8 +308,7 @@ class Analysis:
         self._events_processed = events_processed
         return RaceReport(
             self.name, self.relation, self.tier, self.races,
-            self._events_processed, peak_footprint,
-            getattr(self, "case_counts", None))
+            self._events_processed, peak_footprint, self.case_counts)
 
     # -- race reporting ----------------------------------------------------
     def _race(self, i: int, site: int, x: int, t: int, access: str,
@@ -305,11 +342,25 @@ class VectorClockAnalysis(Analysis):
 
     #: True for WCP analyses: maintain HB clocks alongside.
     TRACKS_HB = False
-
-    def __init__(self, trace: Trace):
-        super().__init__(trace)
+    #: True for the pure-HB tier (Unopt-HB, FT2, FTO-HB): the relation
+    #: clock *is* an HB clock with FastTrack's release-only local-clock
+    #: discipline, identical across the tier — so the engine can hand
+    #: co-scheduled instances one shared clock bank (DESIGN.md §3.1).
+    HB_RELATION = False
+    def __init__(self, trace: Trace, collect_cases: bool = False):
+        super().__init__(trace, collect_cases=collect_cases)
         width = max(trace.num_threads, 1)
+        if width > MAX_TID + 1:
+            raise ValueError(
+                "trace declares {} threads; packed epochs support at most "
+                "{} (TID_BITS={})".format(width, MAX_TID + 1, TID_BITS))
         self.width = width
+        #: False when this instance reads HB state from a shared bank
+        #: (engine shared-HB mode) instead of maintaining it privately.
+        self._hb_owner = True
+        #: False when the *relation* clocks themselves are a shared bank
+        #: (engine shared-HB mode for the pure-HB tier).
+        self._cc_owner = True
         self.cc: List[VectorClock] = []
         for t in range(width):
             c = VectorClock.zeros(width)
@@ -341,12 +392,16 @@ class VectorClockAnalysis(Analysis):
         return self.cc[t][t]
 
     def _epoch(self, t: int):
-        return (self._time(t), t)
+        # hot handlers inline this expression; keep the helper as the
+        # single documented packing point for cold paths and tests
+        return self._time(t) << TID_BITS | t
 
     def _bump(self, t: int) -> None:
+        # shared-HB modes: the bank performs the single bump per event
         if self.hh is not None:
-            self.hh[t][t] += 1
-        else:
+            if self._hb_owner:
+                self.hh[t][t] += 1
+        elif self._cc_owner:
             self.cc[t][t] += 1
 
     def _event_clock(self, t: int) -> VectorClock:
@@ -381,38 +436,96 @@ class VectorClockAnalysis(Analysis):
             return self.hh[t].copy()
         return self.cc[t].copy()
 
+    # -- shared HB (engine mode; see repro.core.hb_shared) -----------------
+    def adopt_shared_cc(self, bank) -> None:
+        """Read the *relation* clocks from a shared bank (pure-HB tier).
+
+        The Unopt-HB/FT2/FTO-HB relation clock is plain HB with
+        FastTrack's release-only bump discipline, identical across the
+        tier, so co-scheduled fresh instances can share one bank
+        (``bump_at_acquire=False``).  Mirrors :meth:`adopt_shared_hb`:
+        all relation-clock mutations are disabled (``_cc_owner=False``)
+        and the engine's fused group replay applies each event's
+        transition once via the bank.
+        """
+        if not self.HB_RELATION or self.hh is not None:
+            raise TypeError(
+                "{}'s relation clock is not plain HB; cannot share".format(
+                    self.name))
+        if bank.width != self.width:
+            raise ValueError("shared clock bank width {} != analysis "
+                             "width {}".format(bank.width, self.width))
+        self.cc = bank.hh
+        self._vol_w = bank.vol_w
+        self._vol_r = bank.vol_r
+        self._cls = bank.cls_clocks
+        self._cc_owner = False
+
+    def adopt_shared_hb(self, bank) -> None:
+        """Read HB state from a shared bank instead of maintaining it.
+
+        Only meaningful for ``TRACKS_HB`` analyses and only on a *fresh*
+        instance (no events processed).  All private HB structures are
+        replaced by references into the bank, so every HB read
+        (``_time``/``_event_clock``/``_publish_clock`` and the footprint
+        accounting) observes the shared state; every HB *mutation* in this
+        instance's handlers is disabled (``_hb_owner = False``) — the bank
+        applies the per-event HB transition exactly once, after the member
+        handlers ran (see :class:`repro.core.engine.MultiRunner`).
+        """
+        if not self.TRACKS_HB or self.hh is None:
+            raise TypeError(
+                "{} does not track HB clocks; nothing to share".format(
+                    self.name))
+        if bank.width != self.width:
+            raise ValueError("shared HB bank width {} != analysis width {}"
+                             .format(bank.width, self.width))
+        self.hh = bank.hh
+        self._hvol_w = bank.vol_w
+        self._hvol_r = bank.vol_r
+        self._hcls = bank.cls_clocks
+        self._hb_owner = False
+
     # -- hard edges (§5.1) -------------------------------------------------
+    # All relation-clock (cc/_vol/_cls) mutations are gated on
+    # ``_cc_owner`` and all HB-clock mutations on ``_hb_owner``: in the
+    # engine's shared-HB modes the bank applies each event's transition
+    # exactly once, after the member handlers ran.
     def fork(self, t: int, u: int, i: int, site: int) -> None:
-        self.cc[u].join(self._event_clock(t))
-        if self.hh is not None:
+        if self._cc_owner:
+            self.cc[u].join(self._event_clock(t))
+        if self.hh is not None and self._hb_owner:
             self.hh[u].join(self.hh[t])
         self._bump(t)
 
     def join(self, t: int, u: int, i: int, site: int) -> None:
-        self.cc[t].join(self._event_clock(u))
-        if self.hh is not None:
+        if self._cc_owner:
+            self.cc[t].join(self._event_clock(u))
+        if self.hh is not None and self._hb_owner:
             self.hh[t].join(self.hh[u])
 
     def volatile_write(self, t: int, v: int, i: int, site: int) -> None:
-        w = self._vol_w.get(v)
-        if w is not None:
-            self.cc[t].join(w)
-        r = self._vol_r.get(v)
-        if r is not None:
-            self.cc[t].join(r)
-        if self.hh is not None:
+        if self._cc_owner:
+            w = self._vol_w.get(v)
+            if w is not None:
+                self.cc[t].join(w)
+            r = self._vol_r.get(v)
+            if r is not None:
+                self.cc[t].join(r)
+        if self.hh is not None and self._hb_owner:
             hw = self._hvol_w.get(v)
             if hw is not None:
                 self.hh[t].join(hw)
             hr = self._hvol_r.get(v)
             if hr is not None:
                 self.hh[t].join(hr)
-        ec = self._event_clock(t)
-        if w is None:
-            self._vol_w[v] = ec
-        else:
-            w.join(ec)
-        if self.hh is not None:
+        if self._cc_owner:
+            ec = self._event_clock(t)
+            if w is None:
+                self._vol_w[v] = ec
+            else:
+                w.join(ec)
+        if self.hh is not None and self._hb_owner:
             if v not in self._hvol_w:
                 self._hvol_w[v] = self.hh[t].copy()
             else:
@@ -420,20 +533,22 @@ class VectorClockAnalysis(Analysis):
         self._bump(t)
 
     def volatile_read(self, t: int, v: int, i: int, site: int) -> None:
-        w = self._vol_w.get(v)
-        if w is not None:
-            self.cc[t].join(w)
-        if self.hh is not None:
+        if self._cc_owner:
+            w = self._vol_w.get(v)
+            if w is not None:
+                self.cc[t].join(w)
+        if self.hh is not None and self._hb_owner:
             hw = self._hvol_w.get(v)
             if hw is not None:
                 self.hh[t].join(hw)
-        ec = self._event_clock(t)
-        r = self._vol_r.get(v)
-        if r is None:
-            self._vol_r[v] = ec
-        else:
-            r.join(ec)
-        if self.hh is not None:
+        if self._cc_owner:
+            ec = self._event_clock(t)
+            r = self._vol_r.get(v)
+            if r is None:
+                self._vol_r[v] = ec
+            else:
+                r.join(ec)
+        if self.hh is not None and self._hb_owner:
             if v not in self._hvol_r:
                 self._hvol_r[v] = self.hh[t].copy()
             else:
@@ -443,12 +558,13 @@ class VectorClockAnalysis(Analysis):
         self._bump(t)
 
     def static_init(self, t: int, c: int, i: int, site: int) -> None:
-        ec = self._event_clock(t)
-        if c not in self._cls:
-            self._cls[c] = ec
-        else:
-            self._cls[c].join(ec)
-        if self.hh is not None:
+        if self._cc_owner:
+            ec = self._event_clock(t)
+            if c not in self._cls:
+                self._cls[c] = ec
+            else:
+                self._cls[c].join(ec)
+        if self.hh is not None and self._hb_owner:
             if c not in self._hcls:
                 self._hcls[c] = self.hh[t].copy()
             else:
@@ -456,10 +572,11 @@ class VectorClockAnalysis(Analysis):
         self._bump(t)
 
     def static_access(self, t: int, c: int, i: int, site: int) -> None:
-        k = self._cls.get(c)
-        if k is not None:
-            self.cc[t].join(k)
-        if self.hh is not None:
+        if self._cc_owner:
+            k = self._cls.get(c)
+            if k is not None:
+                self.cc[t].join(k)
+        if self.hh is not None and self._hb_owner:
             hk = self._hcls.get(c)
             if hk is not None:
                 self.hh[t].join(hk)

@@ -12,35 +12,70 @@ feeds every registered analysis from it:
   :class:`~repro.trace.format.TraceStream` parsing a multi-gigabyte
   capture lazily) and the engine runs in memory bounded by analysis
   metadata, not trace length;
-* **precompiled dispatch, chunked replay** — each analysis exposes a
+* **fused replay over flat chunks** — each analysis exposes a
   per-event-kind table of bound handlers
   (:meth:`repro.core.base.Analysis.dispatch_table`); the engine decodes
-  each event once into a bounded chunk of records and replays the chunk
-  through every table in turn (decode cost is paid once per event, not
-  once per (event, analysis) pair, and each analysis' code and metadata
-  stay cache-hot during its replay);
+  each event once into four flat, *preallocated* int arrays (kind, tid,
+  target, site — no per-event record object, so chunk assembly allocates
+  nothing and the cyclic GC stays quiet) and replays the chunk through
+  each analysis with the dispatch table and array slots bound to locals;
+* **shared HB clocks** — co-scheduled analyses with an HB clock bank
+  that evolves independently of race metadata share one
+  reference-counted :class:`~repro.core.hb_shared.SharedHBClocks`
+  instance per family: the WCP family's HB substrate (``TRACKS_HB``)
+  and the pure-HB tier's relation clocks (``HB_RELATION``:
+  Unopt-HB/FT2/FTO-HB).  A group replays access runs chunked (data
+  accesses never change bank state) and synchronization events fused —
+  member handlers read the pre-event bank state, then the bank applies
+  the event's transition exactly once — so HB joins are paid once per
+  event instead of once per analysis, and reports stay bit-identical
+  to solo runs (the differential fuzz sweep asserts this);
 * **error isolation** — an analysis whose handler raises is detached and
-  recorded as a :class:`AnalysisFailure`; the remaining analyses are
-  unaffected and still produce reports;
+  recorded as a :class:`AnalysisFailure`; the remaining analyses
+  (including the surviving members of a shared-HB group) are unaffected
+  and still produce reports;
 * **shared sampling** — footprint peaks and progress callbacks are
   sampled once per cadence for all analyses, at the same event indices
   :meth:`Analysis.run` would use, so peaks are comparable across paths.
 
 Analyses are ordinary instances; two instances of the *same* analysis can
 run side by side (each owns all of its mutable state — the dispatch-table
-contract in :mod:`repro.core.base`).
+contract in :mod:`repro.core.base`).  Solo :meth:`Analysis.run` never
+shares anything, so a single analysis behaves identically inside and
+outside the engine.
 """
 
 from __future__ import annotations
 
+import gc
+from itertools import islice
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
+from repro.clocks.epoch import TID_BITS
 from repro.core.base import Analysis, HANDLER_NAMES, RaceReport
+from repro.core.hb_shared import SharedHBClocks
 from repro.core.registry import create
 from repro.trace.event import Event
 from repro.trace.trace import Trace, TraceInfo
 
 NUM_KINDS = len(HANDLER_NAMES)
+
+#: Event kinds that end the acting thread's epoch in at least one
+#: analysis (the union of every tier's ``_bump`` sites: releases, forks,
+#: volatiles, class inits always; acquires for the predictive tiers).
+#: Indexed by kind; used by the engine's shared same-epoch filter.
+_EPOCH_ENDERS = (
+    False,  # READ
+    False,  # WRITE
+    True,   # ACQUIRE (predictive tiers bump; conservative for HB)
+    True,   # RELEASE
+    True,   # FORK
+    False,  # JOIN (joins knowledge, never the local clock)
+    True,   # VOLATILE_READ
+    True,   # VOLATILE_WRITE
+    True,   # STATIC_INIT
+    False,  # STATIC_ACCESS (joins knowledge only)
+)
 
 
 class AnalysisFailure:
@@ -122,17 +157,28 @@ class MultiResult:
 class MultiRunner:
     """Drive N analyses over one iteration of an event stream.
 
-    The engine works in *chunks*: it drains a bounded batch of events from
-    the source, decoding each event exactly once into ``(index, kind, tid,
-    target, site)`` records, and then replays the batch through each
-    analysis' precompiled dispatch table in turn.  Chunked replay keeps
-    each analysis' handler code and metadata hot in caches (interleaving
-    N analyses per event thrashes CPython's inline caches when analyses
-    share code objects), costs one decode per event instead of one per
-    (event, analysis) pair, and is the natural substrate for sharding
-    batches across workers later.  The source itself is still iterated
-    exactly once and never rewound, so memory stays bounded by the chunk
-    size plus analysis metadata.
+    The engine works in *chunks*: it drains a bounded batch of events
+    from the source into four flat preallocated int arrays (kind, tid,
+    target, site — decoded exactly once per event) and then replays the
+    batch through each analysis' precompiled dispatch table in turn.
+    Chunked replay keeps each analysis' handler code and metadata hot in
+    caches, costs one decode per event instead of one per (event,
+    analysis) pair, and is the natural substrate for sharding batches
+    across workers later.  The source itself is still iterated exactly
+    once and never rewound, so memory stays bounded by the chunk size
+    plus analysis metadata.
+
+    Analyses with a shareable HB clock bank — the WCP family's HB
+    substrate (``TRACKS_HB``) and the pure-HB tier's relation clocks
+    (``HB_RELATION``) — are grouped per family and clock width at the
+    start of :meth:`run` and, when a group has two or more *fresh*
+    members, adopted into one shared
+    :class:`~repro.core.hb_shared.SharedHBClocks` bank.  A group
+    replays access runs chunked and synchronization events fused:
+    member handlers first (each reading the common pre-event bank
+    state), then the bank's single transition.  See
+    :mod:`repro.core.hb_shared` for why the reports are identical to
+    solo runs.
 
     Parameters
     ----------
@@ -148,28 +194,117 @@ class MultiRunner:
         Optional callback invoked as ``progress(events_seen)`` after each
         chunk (shared across all analyses).
     chunk_events:
-        Batch size; the engine's extra memory is one decoded record per
-        chunk slot.
+        Batch size; the engine's extra memory is four int slots per
+        chunk position.
+    share_hb:
+        Set False to disable shared-HB grouping (every analysis keeps
+        its private clocks, as in solo runs).
     """
 
     def __init__(self, analyses: Sequence[Analysis], sample_every: int = 0,
                  progress: Optional[Callable[[int], None]] = None,
-                 chunk_events: int = 8192):
+                 chunk_events: int = 8192, share_hb: bool = True):
         if not analyses:
             raise ValueError("MultiRunner needs at least one analysis")
         self.entries = [EngineEntry(a) for a in analyses]
         self.sample_every = sample_every
         self.progress = progress
         self.chunk_events = max(chunk_events, 1)
+        #: shared-HB groups: list of (bank, [entries]) — usually 0 or 1.
+        #: Populated at the start of :meth:`run` (adoption permanently
+        #: rebinds an analysis' HB state, so it must not happen for a
+        #: runner that is constructed but never run).
+        self.hb_groups: List[tuple] = []
+        self._share_hb = share_hb
+        self._groups_formed = False
 
-    def _replay(self, entry: EngineEntry, chunk) -> None:
-        """Replay one decoded chunk through one analysis."""
+    # -- shared-HB group formation ----------------------------------------
+    def _form_hb_groups(self) -> None:
+        """Group fresh shareable analyses by clock width and hand each
+        group of >= 2 one shared, reference-counted clock bank.
+
+        Two families share (separately): the WCP tier's HB *substrate*
+        (``TRACKS_HB``; adopted via ``adopt_shared_hb``) and the pure-HB
+        tier's *relation* clocks (``HB_RELATION``; adopted via
+        ``adopt_shared_cc``, release-only bump discipline).
+        """
+        hh_groups: Dict[int, List[EngineEntry]] = {}
+        cc_groups: Dict[int, List[EngineEntry]] = {}
+        for entry in self.entries:
+            a = entry.analysis
+            if (getattr(a, "TRACKS_HB", False)
+                    and getattr(a, "hh", None) is not None
+                    and getattr(a, "_hb_owner", False)
+                    and self._hb_is_fresh(a)):
+                hh_groups.setdefault(a.width, []).append(entry)
+            elif (getattr(a, "HB_RELATION", False)
+                    and getattr(a, "hh", 0) is None
+                    and getattr(a, "_cc_owner", False)
+                    and self._cc_is_fresh(a)):
+                cc_groups.setdefault(a.width, []).append(entry)
+        for width, members in hh_groups.items():
+            if len(members) < 2:
+                continue
+            bank = SharedHBClocks(width)
+            for entry in members:
+                entry.analysis.adopt_shared_hb(bank)
+                bank.retain()
+            self.hb_groups.append((bank, members))
+        for width, members in cc_groups.items():
+            if len(members) < 2:
+                continue
+            bank = SharedHBClocks(width, bump_at_acquire=False)
+            for entry in members:
+                entry.analysis.adopt_shared_cc(bank)
+                bank.retain()
+            self.hb_groups.append((bank, members))
+
+    @staticmethod
+    def _clocks_initial(clocks) -> bool:
+        for t, h in enumerate(clocks):
+            for u, v in enumerate(h):
+                if v != (1 if u == t else 0):
+                    return False
+        return True
+
+    @classmethod
+    def _hb_is_fresh(cls, analysis: Analysis) -> bool:
+        """True while the analysis' private HB state is still initial
+        (sharing would corrupt a mid-run instance's view otherwise)."""
+        if not cls._clocks_initial(analysis.hh):
+            return False
+        for attr in ("_hvol_w", "_hvol_r", "_hcls", "_lock_hb"):
+            if getattr(analysis, attr, None):
+                return False
+        return True
+
+    @classmethod
+    def _cc_is_fresh(cls, analysis: Analysis) -> bool:
+        """Same freshness check for a pure-HB tier's relation clocks."""
+        if not cls._clocks_initial(analysis.cc):
+            return False
+        for attr in ("_vol_w", "_vol_r", "_cls", "_lock_clock"):
+            if getattr(analysis, attr, None):
+                return False
+        return True
+
+    # -- chunked per-analysis replay ---------------------------------------
+    def _replay(self, entry: EngineEntry, indices, kinds, tids, targets,
+                sites, n: int) -> None:
+        """Replay one decoded chunk through one (non-grouped) analysis.
+
+        ``indices`` holds each record's global event index (records are
+        not contiguous when the shared same-epoch filter dropped events);
+        the islice bounds the zip to the ``n`` live slots of the
+        preallocated buffers.
+        """
         table = entry.analysis.dispatch_table()
         sample_every = self.sample_every
+        bounded = islice(indices, n)
         if sample_every:
             analysis = entry.analysis
             peak = entry.peak
-            for j, k, t, x, s in chunk:
+            for j, k, t, x, s in zip(bounded, kinds, tids, targets, sites):
                 table[k](t, x, j, s)
                 if j % sample_every == 0:
                     fp = analysis.footprint_bytes()
@@ -177,14 +312,112 @@ class MultiRunner:
                         peak = fp
             entry.peak = peak
         else:
-            for j, k, t, x, s in chunk:
+            for j, k, t, x, s in zip(bounded, kinds, tids, targets, sites):
                 table[k](t, x, j, s)
 
+    # -- fused shared-HB group replay --------------------------------------
+    def _replay_group(self, bank: SharedHBClocks, members: List[EngineEntry],
+                      indices, kinds, tids, targets, sites, n: int) -> None:
+        """Replay one decoded chunk through a shared-clock group.
+
+        Data accesses (kinds 0/1) never change the shared bank, so
+        maximal *access runs* replay through each member in turn with a
+        tight per-member loop (chunked-replay speed).  Synchronization
+        records are fused per event: every member's handler first (each
+        reading the pre-event bank state), then the bank's single
+        transition.  Failures are handled inline: a member whose handler
+        (or footprint sampler) raises is detached on the spot and the
+        survivors plus the bank continue; if the bank's own transition
+        raises, the shared state is unusable and the whole group fails.
+        """
+        sample_every = self.sample_every
+        bank_table = bank.dispatch_table()
+        tables = [e.analysis.dispatch_table() for e in members]
+        off = 0
+        while off < n and members:
+            k = kinds[off]
+            if k <= 1:
+                run_end = off + 1
+                while run_end < n and kinds[run_end] <= 1:
+                    run_end += 1
+                mi = 0
+                while mi < len(tables):
+                    tbl = tables[mi]
+                    try:
+                        if sample_every:
+                            entry = members[mi]
+                            analysis = entry.analysis
+                            for o in range(off, run_end):
+                                j = indices[o]
+                                tbl[kinds[o]](tids[o], targets[o], j,
+                                              sites[o])
+                                if j % sample_every == 0:
+                                    fp = analysis.footprint_bytes()
+                                    if fp > entry.peak:
+                                        entry.peak = fp
+                        else:
+                            for o in range(off, run_end):
+                                tbl[kinds[o]](tids[o], targets[o],
+                                              indices[o], sites[o])
+                    except Exception as exc:  # detach this member
+                        self._detach(bank, members, tables, mi,
+                                     indices[o], exc)
+                        continue
+                    mi += 1
+                off = run_end
+            else:
+                j = indices[off]
+                t = tids[off]
+                x = targets[off]
+                s = sites[off]
+                mi = 0
+                while mi < len(tables):
+                    try:
+                        tables[mi][k](t, x, j, s)
+                    except Exception as exc:  # detach this member
+                        self._detach(bank, members, tables, mi, j, exc)
+                        continue
+                    mi += 1
+                if members:
+                    try:
+                        bank_table[k](t, x, j, s)
+                    except Exception as exc:
+                        # the shared transition failed: no member's view
+                        # can be trusted any more — the group fails
+                        while members:
+                            self._detach(bank, members, tables, 0, j, exc)
+                        return
+                if sample_every and j % sample_every == 0:
+                    mi = 0
+                    while mi < len(tables):
+                        entry = members[mi]
+                        try:
+                            fp = entry.analysis.footprint_bytes()
+                        except Exception as exc:  # detach this member
+                            self._detach(bank, members, tables, mi, j, exc)
+                            continue
+                        if fp > entry.peak:
+                            entry.peak = fp
+                        mi += 1
+                off += 1
+
+    @staticmethod
+    def _detach(bank: SharedHBClocks, members: List[EngineEntry], tables,
+                mi: int, event_index: int, exc: BaseException) -> None:
+        """Record a group member's failure and drop it from the pass."""
+        entry = members[mi]
+        entry.failure = AnalysisFailure(entry.name, event_index, exc)
+        del members[mi]
+        del tables[mi]
+        bank.drop()
+
+    # -- failure localization ----------------------------------------------
     @staticmethod
     def _failure_index(exc: BaseException) -> int:
-        """The event index a replay failure happened at, recovered from
-        the ``_replay`` frame in the traceback (the per-record loop is
-        kept free of bookkeeping; the frame's ``j`` local is the index)."""
+        """The event index a chunked replay failure happened at, recovered
+        from the ``_replay`` frame in the traceback (the per-record loop
+        is kept free of bookkeeping; the frame's ``j`` local is the
+        index)."""
         tb = exc.__traceback__
         while tb is not None:
             if tb.tb_frame.f_code is MultiRunner._replay.__code__:
@@ -192,6 +425,7 @@ class MultiRunner:
             tb = tb.tb_next
         return -1
 
+    # -- driving -----------------------------------------------------------
     def run(self, events: Union[Trace, Iterable[Event]]) -> MultiResult:
         """Feed one iteration of ``events`` to every analysis.
 
@@ -203,36 +437,139 @@ class MultiRunner:
         """
         if isinstance(events, Trace):
             events = events.events
-        live = list(self.entries)
+        if self._share_hb and not self._groups_formed:
+            self._form_hb_groups()
+        self._groups_formed = True
+        grouped = set()
+        for _, members in self.hb_groups:
+            grouped.update(members)
+        # entries that failed in a previous run() stay detached: their
+        # analyses are in an undefined mid-failure state, and a group
+        # member must not drop the bank refcount twice
+        live = [e for e in self.entries
+                if e not in grouped and e.failure is None]
+        groups = [(bank, [m for m in members if m.failure is None])
+                  for bank, members in self.hb_groups]
         chunk_size = self.chunk_events
         progress = self.progress
         source = iter(events)
+        # The shared same-epoch filter drops accesses that are provably
+        # no-ops in *every* analysis — a repeat of the same (thread, kind,
+        # variable) access with no intervening epoch-ending event by that
+        # thread and no intervening write to the variable hits a [Same
+        # Epoch] fast path in each tier (§4.1; unopt's §5.1 equivalent) —
+        # so one decode-time check replaces N dispatches.  Active only
+        # when every analysis declares the fast-path semantics
+        # (SAME_EPOCH_SKIP), and disabled when footprint sampling or
+        # case counting is on: a skipped access would then miss a sample
+        # index / a same-epoch case bump.
+        filter_on = (self.sample_every == 0
+                     and all(e.analysis.SAME_EPOCH_SKIP
+                             and e.analysis.case_counts is None
+                             for e in self.entries))
+        epoch_enders = _EPOCH_ENDERS
+        # per-thread tokens (epoch << TID_BITS | tid), recomputed only at
+        # epoch-ending events so the access fast path is one dict get
+        toks: Dict[int, int] = {}
+        last_r: Dict[int, int] = {}  # var -> token of its last reader
+        last_w: Dict[int, int] = {}  # var -> token of its last writer
+        toks_get = toks.get
+        last_r_get = last_r.get
+        last_w_get = last_w.get
+        # flat preallocated decode buffers: one int per slot, no per-event
+        # record allocation (islice in the replay loops trims to n).
+        indices = [0] * chunk_size
+        kinds = [0] * chunk_size
+        tids = [0] * chunk_size
+        targets = [0] * chunk_size
+        sites = [0] * chunk_size
         i = -1
+        reported = 0  # last event count handed to the progress callback
         exhausted = False
-        while not exhausted:
-            chunk = []
-            append = chunk.append
-            for e in source:
-                i += 1
-                append((i, e.kind, e.tid, e.target, e.site))
-                if len(chunk) == chunk_size:
+        # Batch-pass GC hygiene: with N analyses' metadata live at once,
+        # every cyclic collection during the pass scans ~N times the
+        # objects a solo run would, for data that is refcount-managed
+        # anyway (the clocks and metadata maps are acyclic).  Suspend
+        # cyclic GC for the pass and restore the caller's setting after.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while not exhausted:
+                n = 0
+                if filter_on:
+                    for e in source:
+                        i += 1
+                        k = e.kind
+                        t = e.tid
+                        x = e.target
+                        if k <= 1:  # READ/WRITE: shared same-epoch filter
+                            tok = toks_get(t, t)
+                            if k == 0:
+                                if last_r_get(x) == tok:
+                                    continue  # no-op in every analysis
+                                last_r[x] = tok
+                            else:
+                                if last_w_get(x) == tok:
+                                    continue  # no-op in every analysis
+                                last_w[x] = tok
+                                # a write ends every reader's same-epoch run
+                                if x in last_r:
+                                    del last_r[x]
+                        elif epoch_enders[k]:
+                            toks[t] = toks_get(t, t) + (1 << TID_BITS)
+                        indices[n] = i
+                        kinds[n] = k
+                        tids[n] = t
+                        targets[n] = x
+                        sites[n] = e.site
+                        n += 1
+                        if n == chunk_size:
+                            break
+                    else:
+                        exhausted = True
+                else:
+                    for e in source:
+                        i += 1
+                        indices[n] = i
+                        kinds[n] = e.kind
+                        tids[n] = e.tid
+                        targets[n] = e.target
+                        sites[n] = e.site
+                        n += 1
+                        if n == chunk_size:
+                            break
+                    else:
+                        exhausted = True
+                if n == 0:
                     break
-            else:
-                exhausted = True
-            if not chunk:
-                break
-            for entry in list(live):
-                try:
-                    self._replay(entry, chunk)
-                except Exception as exc:  # isolate: detach this analysis
-                    entry.failure = AnalysisFailure(
-                        entry.name, self._failure_index(exc), exc)
-                    live.remove(entry)
-            if progress is not None:
-                progress(i + 1)
+                for entry in list(live):
+                    try:
+                        self._replay(entry, indices, kinds, tids, targets,
+                                     sites, n)
+                    except Exception as exc:  # isolate: detach this analysis
+                        entry.failure = AnalysisFailure(
+                            entry.name, self._failure_index(exc), exc)
+                        live.remove(entry)
+                for bank, members in groups:
+                    if members:
+                        self._replay_group(bank, members, indices, kinds, tids,
+                                           targets, sites, n)
+                if progress is not None:
+                    progress(i + 1)
+                    reported = i + 1
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         events_processed = i + 1
-        for entry in live:
-            entry.report = entry.analysis.finish(events_processed, entry.peak)
+        # a trailing residue dropped entirely by the same-epoch filter
+        # produces no final chunk; progress must still reach the total
+        if progress is not None and events_processed > reported:
+            progress(events_processed)
+        for entry in self.entries:
+            if entry.failure is None:
+                entry.report = entry.analysis.finish(
+                    events_processed, entry.peak)
         return MultiResult(self.entries, events_processed)
 
 

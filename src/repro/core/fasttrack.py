@@ -13,41 +13,54 @@
 HB analyses increment the local clock only at outgoing synchronization
 (releases, volatile writes, forks), like FastTrack; predictive tiers also
 increment at acquires (§5.1).
+
+Epochs are packed ints (``c << TID_BITS | t``; see
+:mod:`repro.clocks.epoch`): the same-epoch fast path is a single ``==``
+between the stored metadata and the current thread's packed epoch, and no
+tuple is allocated per access.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Union
 
-from repro.clocks.epoch import epoch_leq
+from repro.clocks.epoch import TID_BITS, TID_MASK, epoch_leq
 from repro.clocks.vector_clock import VectorClock
 from repro.core.base import DICT_ENTRY_BYTES, EPOCH_BYTES, VectorClockAnalysis, _vc_bytes
 from repro.trace.trace import Trace
 
-Meta = Union[None, tuple, VectorClock]
+Meta = Union[None, int, VectorClock]
 
 
 class _EpochHbBase(VectorClockAnalysis):
     """Shared lock handling and metadata for FT2/FTO-HB."""
 
-    def __init__(self, trace: Trace):
-        super().__init__(trace)
+    HB_RELATION = True
+    #: implements the [Read/Write Same Epoch] fast paths
+    SAME_EPOCH_SKIP = True
+
+    def __init__(self, trace: Trace, collect_cases: bool = False):
+        super().__init__(trace, collect_cases=collect_cases)
         self._lock_clock: Dict[int, VectorClock] = {}
         self._read: Dict[int, Meta] = {}
-        self._write: Dict[int, Optional[tuple]] = {}
-        self.case_counts: Dict[str, int] = {}
+        self._write: Dict[int, Optional[int]] = {}
 
-    def _count(self, case: str) -> None:
-        self.case_counts[case] = self.case_counts.get(case, 0) + 1
+    def adopt_shared_cc(self, bank) -> None:
+        """See :meth:`VectorClockAnalysis.adopt_shared_cc`; also rebinds
+        the per-lock release clocks to the bank's."""
+        super().adopt_shared_cc(bank)
+        self._lock_clock = bank.lock_hb
 
     def acquire(self, t: int, m: int, i: int, site: int) -> None:
-        clock = self._lock_clock.get(m)
-        if clock is not None:
-            self.cc[t].join(clock)
+        if self._cc_owner:
+            clock = self._lock_clock.get(m)
+            if clock is not None:
+                self.cc[t].join(clock)
         self.held[t].append(m)
 
     def release(self, t: int, m: int, i: int, site: int) -> None:
-        self._lock_clock[m] = self.cc[t].copy()
+        if self._cc_owner:
+            self._lock_clock[m] = self.cc[t].copy()
         stack = self.held[t]
         if stack and stack[-1] == m:
             stack.pop()
@@ -76,9 +89,10 @@ class FastTrack2(_EpochHbBase):
     def read(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
         time = cc_t[t]
+        e = time << TID_BITS | t
         r = self._read.get(x)
-        if type(r) is tuple and r[0] == time and r[1] == t:
-            return
+        if r == e:
+            return  # [Read Same Epoch]
         w = self._write.get(x)
         if type(r) is VectorClock:
             if r[t] == time:
@@ -93,20 +107,21 @@ class FastTrack2(_EpochHbBase):
             self._race(i, site, x, t, "read", "write-read")
         if r is None or epoch_leq(r, cc_t, t):
             self._count("read_exclusive")
-            self._read[x] = (time, t)
+            self._read[x] = e
         else:
             self._count("read_share")
             vc = VectorClock.zeros(self.width)
-            vc[r[1]] = r[0]
+            vc[r & TID_MASK] = r >> TID_BITS
             vc[t] = time
             self._read[x] = vc
 
     def write(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
         time = cc_t[t]
+        e = time << TID_BITS | t
         w = self._write.get(x)
-        if w is not None and w[0] == time and w[1] == t:
-            return
+        if w == e:
+            return  # [Write Same Epoch]
         r = self._read.get(x)
         kinds = []
         if not epoch_leq(w, cc_t, t):
@@ -123,7 +138,7 @@ class FastTrack2(_EpochHbBase):
                 kinds.append("read-write")
         if kinds:
             self._race(i, site, x, t, "write", "+".join(kinds))
-        self._write[x] = (time, t)
+        self._write[x] = e
 
 
 class FTOHb(_EpochHbBase):
@@ -142,9 +157,10 @@ class FTOHb(_EpochHbBase):
     def read(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
         time = cc_t[t]
+        e = time << TID_BITS | t
         r = self._read.get(x)
-        if type(r) is tuple and r[0] == time and r[1] == t:
-            return
+        if r == e:
+            return  # [Read Same Epoch]
         if type(r) is VectorClock:
             if r[t] == time:
                 self._count("read_shared_same_epoch")
@@ -160,40 +176,41 @@ class FTOHb(_EpochHbBase):
             return
         if r is None:
             self._count("read_exclusive")
-            self._read[x] = (time, t)
+            self._read[x] = e
             return
-        if r[1] == t:
+        if (r & TID_MASK) == t:
             self._count("read_owned")
-            self._read[x] = (time, t)
+            self._read[x] = e
             return
         if epoch_leq(r, cc_t, t):
             self._count("read_exclusive")
-            self._read[x] = (time, t)
+            self._read[x] = e
             return
         self._count("read_share")
         if not epoch_leq(self._write.get(x), cc_t, t):
             self._race(i, site, x, t, "read", "write-read")
         vc = VectorClock.zeros(self.width)
-        vc[r[1]] = r[0]
+        vc[r & TID_MASK] = r >> TID_BITS
         vc[t] = time
         self._read[x] = vc
 
     def write(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
         time = cc_t[t]
+        e = time << TID_BITS | t
         w = self._write.get(x)
-        if w is not None and w[0] == time and w[1] == t:
-            return
+        if w == e:
+            return  # [Write Same Epoch]
         r = self._read.get(x)
         if type(r) is VectorClock:
             self._count("write_shared")
             if not r.leq_except(cc_t, t):
                 self._race(i, site, x, t, "write", "read-write")
-        elif r is None or r[1] == t:
+        elif r is None or (r & TID_MASK) == t:
             self._count("write_owned" if r is not None else "write_exclusive")
         else:
             self._count("write_exclusive")
             if not epoch_leq(r, cc_t, t):
                 self._race(i, site, x, t, "write", "access-write")
-        self._write[x] = (time, t)
-        self._read[x] = (time, t)
+        self._write[x] = e
+        self._read[x] = e

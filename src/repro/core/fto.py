@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Set, Tuple, Union
 
-from repro.clocks.epoch import epoch_leq
+from repro.clocks.epoch import TID_BITS, TID_MASK, epoch_leq
 from repro.clocks.vector_clock import VectorClock
 from repro.core.base import (
     DICT_ENTRY_BYTES,
@@ -32,7 +32,7 @@ from repro.core.rule_b import RuleBQueues
 from repro.core.unopt import _WcpMixin
 from repro.trace.trace import Trace
 
-Meta = Union[None, tuple, VectorClock]
+Meta = Union[None, int, VectorClock]
 
 
 class FTOPredictive(VectorClockAnalysis):
@@ -40,15 +40,18 @@ class FTOPredictive(VectorClockAnalysis):
 
     tier = "fto"
     BUMP_AT_ACQUIRE = True
+    #: implements the [Same Epoch] fast paths (Algorithm 2)
+    SAME_EPOCH_SKIP = True
     USES_RULE_B = False
     EPOCH_ACQ_QUEUES = False
     #: see UnoptPredictive.SPLIT_L_BY_THREAD (WCP-only precision fix)
     SPLIT_L_BY_THREAD = False
 
-    def __init__(self, trace: Trace, rule_b_style: str = "log"):
-        super().__init__(trace)
+    def __init__(self, trace: Trace, rule_b_style: str = "log",
+                 collect_cases: bool = False):
+        super().__init__(trace, collect_cases=collect_cases)
         self._read: Dict[int, Meta] = {}
-        self._write: Dict[int, Optional[tuple]] = {}
+        self._write: Dict[int, Optional[int]] = {}
         self._lr: Dict[Tuple[int, int], VectorClock] = {}
         self._lw: Dict[Tuple[int, int], VectorClock] = {}
         self._rm: Dict[int, Set[int]] = {}  # reads and writes (§4.1)
@@ -58,10 +61,6 @@ class FTOPredictive(VectorClockAnalysis):
             self._queues = RuleBQueues(
                 self.width, epoch_acquires=self.EPOCH_ACQ_QUEUES,
                 style=rule_b_style)
-        self.case_counts: Dict[str, int] = {}
-
-    def _count(self, case: str) -> None:
-        self.case_counts[case] = self.case_counts.get(case, 0) + 1
 
     # -- synchronization (Algorithm 2 lines 1–13) -------------------------
     def acquire(self, t: int, m: int, i: int, site: int) -> None:
@@ -131,9 +130,9 @@ class FTOPredictive(VectorClockAnalysis):
     # -- accesses (Algorithm 2 lines 14–44) --------------------------------
     def write(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
-        time = self._time(t)
+        e = self._time(t) << TID_BITS | t
         w = self._write.get(x)
-        if w is not None and w[0] == time and w[1] == t:
+        if w == e:
             return  # [Write Same Epoch]
         for m in self.held[t]:  # rule (a), lines 16–19
             self._l_join(self._lr, t, m, x)
@@ -145,20 +144,21 @@ class FTOPredictive(VectorClockAnalysis):
             self._count("write_shared")
             if not r.leq_except(cc_t, t):  # [Write Shared]
                 self._race(i, site, x, t, "write", "access-write")
-        elif r is None or r[1] == t:
+        elif r is None or (r & TID_MASK) == t:
             self._count("write_owned" if r is not None else "write_exclusive")
         else:
             self._count("write_exclusive")
             if not epoch_leq(r, cc_t, t):  # [Write Exclusive]
                 self._race(i, site, x, t, "write", "access-write")
-        self._write[x] = (time, t)
-        self._read[x] = (time, t)  # line 25: R_x tracks reads and writes
+        self._write[x] = e
+        self._read[x] = e  # line 25: R_x tracks reads and writes
 
     def read(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
         time = self._time(t)
+        e = time << TID_BITS | t
         r = self._read.get(x)
-        if type(r) is tuple and r[0] == time and r[1] == t:
+        if r == e:
             return  # [Read Same Epoch]
         is_vc = type(r) is VectorClock
         if is_vc and r[t] == time:
@@ -178,21 +178,21 @@ class FTOPredictive(VectorClockAnalysis):
             return
         if r is None:
             self._count("read_exclusive")
-            self._read[x] = (time, t)
+            self._read[x] = e
             return
-        if r[1] == t:
+        if (r & TID_MASK) == t:
             self._count("read_owned")
-            self._read[x] = (time, t)  # [Read Owned]
+            self._read[x] = e  # [Read Owned]
             return
         if epoch_leq(r, cc_t, t):
             self._count("read_exclusive")
-            self._read[x] = (time, t)  # [Read Exclusive]
+            self._read[x] = e  # [Read Exclusive]
             return
         self._count("read_share")
         if not epoch_leq(self._write.get(x), cc_t, t):  # [Read Share]
             self._race(i, site, x, t, "read", "write-read")
         vc = VectorClock.zeros(self.width)
-        vc[r[1]] = r[0]
+        vc[r & TID_MASK] = r >> TID_BITS
         vc[t] = time
         self._read[x] = vc
 

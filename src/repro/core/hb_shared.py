@@ -1,0 +1,169 @@
+"""Shared HB clock bank: compute happens-before once per event.
+
+Every WCP-family analysis (``TRACKS_HB = True``) composes with HB (§2.4)
+and therefore carries a full HB substrate next to its WCP clocks: the
+per-thread ``H_t`` bank plus the HB release clocks of volatiles, class
+initializers, and locks.  Crucially, that substrate evolves as a function
+of the *event stream alone* — no HB update reads WCP clocks or race
+metadata — so when the single-pass engine co-schedules N WCP analyses,
+N−1 of the HB banks are redundant.
+
+:class:`SharedHBClocks` is the one bank they share.  The engine hands it
+to each member via
+:meth:`repro.core.base.VectorClockAnalysis.adopt_shared_hb`, which
+rebinds the member's ``hh``/volatile/class-init HB structures to the
+bank's and turns off the member's own HB mutations.  The engine then
+replays shared-HB members *fused per event*: every member's handler runs
+first (reading the pre-event HB state, exactly what a solo run would
+read at the same point — HB joins never advance a thread's own
+component, so local-time reads are unaffected), and the bank's handler
+applies the event's HB transition once.
+
+The bank's per-event transition mirrors the HB half of
+:class:`~repro.core.base.VectorClockAnalysis`'s handlers plus the
+``_WcpMixin`` lock hooks, with the increment-at-acquire discipline every
+predictive WCP analysis uses (§5.1).  Because the transition is applied
+once per event and members only ever read, reports are bit-identical to
+solo runs — the differential fuzz sweep asserts exactly that.
+
+The bank is reference-counted (:meth:`retain`/:meth:`drop`): the count
+tracks live members for introspection and the engine's detach
+bookkeeping (group replay itself stops when the member list empties).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.clocks.vector_clock import VectorClock
+from repro.core.base import HANDLER_NAMES
+
+
+class SharedHBClocks:
+    """One HB clock bank shared by co-scheduled analyses.
+
+    Serves two member families, which differ only in the acquire bump:
+
+    * the WCP family shares its HB *substrate* (``hh``), which bumps at
+      acquires like every predictive tier (``bump_at_acquire=True``);
+    * the pure-HB tier (Unopt-HB, FT2, FTO-HB) shares its *relation*
+      clock outright — identical sync semantics across all three, with
+      FastTrack's release-only local-clock discipline
+      (``bump_at_acquire=False``).
+    """
+
+    def __init__(self, width: int, bump_at_acquire: bool = True):
+        self.width = width
+        self.bump_at_acquire = bump_at_acquire
+        hh: List[VectorClock] = []
+        for t in range(width):
+            h = VectorClock.zeros(width)
+            h[t] = 1  # H_t(t) starts at 1 (paper §2.4)
+            hh.append(h)
+        self.hh = hh
+        #: HB release clocks of volatile writes / reads, per volatile.
+        self.vol_w: Dict[int, VectorClock] = {}
+        self.vol_r: Dict[int, VectorClock] = {}
+        #: HB clocks of class-initialization edges, per class.
+        self.cls_clocks: Dict[int, VectorClock] = {}
+        #: HB release clocks per lock (the ``_lock_hb`` of ``_WcpMixin``).
+        self.lock_hb: Dict[int, VectorClock] = {}
+        self._refs = 0
+        self._dispatch = None
+
+    # -- reference counting (engine bookkeeping) -------------------------
+    # (``release`` is taken by the event handler below, so the refcount
+    # decrement is ``drop``.)
+    def retain(self) -> int:
+        """One more member reads this bank; returns the new count."""
+        self._refs += 1
+        return self._refs
+
+    def drop(self) -> int:
+        """One member detached; returns the remaining count."""
+        self._refs -= 1
+        return self._refs
+
+    @property
+    def refs(self) -> int:
+        return self._refs
+
+    # -- the per-event HB transition --------------------------------------
+    # Handler signatures match the dispatch-table contract of
+    # repro.core.base: table[kind](tid, target, index, site).
+
+    def read(self, t: int, x: int, i: int, site: int) -> None:
+        """Data reads do not change HB state."""
+
+    def write(self, t: int, x: int, i: int, site: int) -> None:
+        """Data writes do not change HB state."""
+
+    def acquire(self, t: int, m: int, i: int, site: int) -> None:
+        hh_t = self.hh[t]
+        hb = self.lock_hb.get(m)
+        if hb is not None:
+            hh_t.join(hb)
+        if self.bump_at_acquire:
+            hh_t[t] += 1  # increment-at-acquire (§5.1)
+
+    def release(self, t: int, m: int, i: int, site: int) -> None:
+        hh_t = self.hh[t]
+        self.lock_hb[m] = hh_t.copy()
+        hh_t[t] += 1
+
+    def fork(self, t: int, u: int, i: int, site: int) -> None:
+        self.hh[u].join(self.hh[t])
+        self.hh[t][t] += 1
+
+    def join(self, t: int, u: int, i: int, site: int) -> None:
+        self.hh[t].join(self.hh[u])
+
+    def volatile_write(self, t: int, v: int, i: int, site: int) -> None:
+        hh_t = self.hh[t]
+        hw = self.vol_w.get(v)
+        if hw is not None:
+            hh_t.join(hw)
+        hr = self.vol_r.get(v)
+        if hr is not None:
+            hh_t.join(hr)
+        if hw is None:
+            self.vol_w[v] = hh_t.copy()
+        else:
+            hw.join(hh_t)
+        hh_t[t] += 1
+
+    def volatile_read(self, t: int, v: int, i: int, site: int) -> None:
+        hh_t = self.hh[t]
+        hw = self.vol_w.get(v)
+        if hw is not None:
+            hh_t.join(hw)
+        hr = self.vol_r.get(v)
+        if hr is None:
+            self.vol_r[v] = hh_t.copy()
+        else:
+            hr.join(hh_t)
+        hh_t[t] += 1
+
+    def static_init(self, t: int, c: int, i: int, site: int) -> None:
+        hh_t = self.hh[t]
+        k = self.cls_clocks.get(c)
+        if k is None:
+            self.cls_clocks[c] = hh_t.copy()
+        else:
+            k.join(hh_t)
+        hh_t[t] += 1
+
+    def static_access(self, t: int, c: int, i: int, site: int) -> None:
+        k = self.cls_clocks.get(c)
+        if k is not None:
+            self.hh[t].join(k)
+
+    # -- dispatch ---------------------------------------------------------
+    def dispatch_table(self):
+        """Per-event-kind table of bound handlers (same contract as
+        :meth:`repro.core.base.Analysis.dispatch_table`)."""
+        table = self._dispatch
+        if table is None:
+            table = tuple(getattr(self, name) for name in HANDLER_NAMES)
+            self._dispatch = table
+        return table

@@ -30,8 +30,8 @@ _FACTORIES: Dict[str, Callable[[Trace], Analysis]] = {
     "unopt-wcp": UnoptWCP,
     "unopt-dc": UnoptDC,
     "unopt-wdc": UnoptWDC,
-    "unopt-dc-g": lambda trace: UnoptDC(trace, build_graph=True),
-    "unopt-wdc-g": lambda trace: UnoptWDC(trace, build_graph=True),
+    "unopt-dc-g": lambda trace, **kw: UnoptDC(trace, build_graph=True, **kw),
+    "unopt-wdc-g": lambda trace, **kw: UnoptWDC(trace, build_graph=True, **kw),
     "fto-wcp": FTOWCP,
     "fto-dc": FTODC,
     "fto-wdc": FTOWDC,
@@ -60,14 +60,19 @@ BY_RELATION: Dict[str, List[str]] = {
 }
 
 
-def create(name: str, trace: Trace) -> Analysis:
-    """Instantiate the named analysis for one trace."""
+def create(name: str, trace: Trace, **kwargs) -> Analysis:
+    """Instantiate the named analysis for one trace.
+
+    ``kwargs`` are forwarded to the analysis constructor — e.g.
+    ``collect_cases=True`` turns on per-case counting (Table 12), which
+    default runs skip for speed.
+    """
     factory = _FACTORIES.get(name)
     if factory is None:
         raise ValueError(
             "unknown analysis {!r}; choose from {}".format(
                 name, ", ".join(ANALYSIS_NAMES)))
-    return factory(trace)
+    return factory(trace, **kwargs)
 
 
 def relation_of(name: str) -> str:

@@ -36,7 +36,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
-from repro.clocks.epoch import epoch_leq
+from repro.clocks.epoch import TID_BITS, epoch_leq
 from repro.clocks.vector_clock import VectorClock
 from repro.core.base import EPOCH_BYTES, QUEUE_ENTRY_OVERHEAD, VC_BYTES_BASE, VC_BYTES_PER_SLOT
 
@@ -96,8 +96,9 @@ class RuleBQueues:
 
         ``time`` is the thread's local clock; ``vc`` its current clock
         (copied once; vector-clock entries are shared between queues).
+        Epoch entries are packed ints (:mod:`repro.clocks.epoch`).
         """
-        entry = (time, t) if self.epoch_acquires else vc.copy()
+        entry = (time << TID_BITS | t) if self.epoch_acquires else vc.copy()
         if self.style == "log":
             log = self._logs.get((m, t))
             if log is None:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.clocks.epoch import epoch_leq
+from repro.clocks.epoch import TID_BITS, TID_MASK, epoch_leq
 from repro.clocks.vector_clock import INF, VectorClock
 from repro.core.base import (
     DICT_ENTRY_BYTES,
@@ -38,7 +38,7 @@ from repro.core.rule_b import RuleBQueues
 from repro.core.unopt import _WcpMixin
 from repro.trace.trace import Trace
 
-Meta = Union[None, tuple, VectorClock]
+Meta = Union[None, int, VectorClock]
 #: L^r_x is a CS list while R_x is an epoch, or a per-thread dict of CS
 #: lists while R_x is a vector clock.
 ReadCS = Union[CSList, Dict[int, CSList]]
@@ -49,12 +49,15 @@ class SmartTrack(VectorClockAnalysis):
 
     tier = "st"
     BUMP_AT_ACQUIRE = True
+    #: implements the [Same Epoch] fast paths (Algorithm 3)
+    SAME_EPOCH_SKIP = True
     USES_RULE_B = False
 
-    def __init__(self, trace: Trace, rule_b_style: str = "log"):
-        super().__init__(trace)
+    def __init__(self, trace: Trace, rule_b_style: str = "log",
+                 collect_cases: bool = False):
+        super().__init__(trace, collect_cases=collect_cases)
         self._read: Dict[int, Meta] = {}
-        self._write: Dict[int, Optional[tuple]] = {}
+        self._write: Dict[int, Optional[int]] = {}
         self._lw: Dict[int, CSList] = {}
         self._lr: Dict[int, ReadCS] = {}
         # E^r_x / E^w_x: var -> thread -> lock -> release-clock reference
@@ -66,10 +69,6 @@ class SmartTrack(VectorClockAnalysis):
         if self.USES_RULE_B:
             self._queues = RuleBQueues(self.width, epoch_acquires=True,
                                        style=rule_b_style)
-        self.case_counts: Dict[str, int] = {}
-
-    def _count(self, case: str) -> None:
-        self.case_counts[case] = self.case_counts.get(case, 0) + 1
 
     # -- synchronization (Algorithm 3 lines 1–16) --------------------------
     def acquire(self, t: int, m: int, i: int, site: int) -> None:
@@ -102,8 +101,11 @@ class SmartTrack(VectorClockAnalysis):
 
     # -- MultiCheck (Algorithm 3 lines 26–35) --------------------------------
     def _multicheck(self, t: int, cs_list: CSList, u: int,
-                    check: Optional[tuple]) -> Tuple[Optional[Dict[int, VectorClock]], bool]:
+                    check: Optional[int]) -> Tuple[Optional[Dict[int, VectorClock]], bool]:
         """Fused CCS/race check over one CS list.
+
+        ``check`` is the last-access epoch to race-check (a packed epoch
+        from :mod:`repro.clocks.epoch`, or None for "no check").
 
         Traverses outermost-to-innermost.  A critical section whose release
         is already ordered before the current access — or whose lock the
@@ -134,8 +136,9 @@ class SmartTrack(VectorClockAnalysis):
     def write(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
         time = self._time(t)
+        e = time << TID_BITS | t
         w = self._write.get(x)
-        if w is not None and w[0] == time and w[1] == t:
+        if w == e:
             return  # [Write Same Epoch]
         er = self._er.get(x)
         if er:  # lines 19–23: absorb and clear extra metadata
@@ -169,14 +172,15 @@ class SmartTrack(VectorClockAnalysis):
         if type(r) is VectorClock:  # [Write Shared], lines 30–35
             self._count("write_shared")
             lr = self._lr.get(x)
-            w_tid = w[1] if w is not None else -1
+            w_tid = (w & TID_MASK) if w is not None else -1
             raced = False
             for u in range(self.width):
                 ru = r[u]
                 if u == t or ru == 0:
                     continue
                 cs_u = lr.get(u, EMPTY) if isinstance(lr, dict) else EMPTY
-                residual, bad = self._multicheck(t, cs_u, u, (ru, u))
+                residual, bad = self._multicheck(
+                    t, cs_u, u, ru << TID_BITS | u)
                 raced = raced or bad
                 if residual:
                     self._er.setdefault(x, {})[u] = residual
@@ -187,16 +191,16 @@ class SmartTrack(VectorClockAnalysis):
                             self._ew.setdefault(x, {})[u] = w_res
             if raced:
                 self._race(i, site, x, t, "write", "access-write")
-        elif r is None or r[1] == t:  # [Write Owned]
+        elif r is None or (r & TID_MASK) == t:  # [Write Owned]
             self._count("write_owned" if r is not None else "write_exclusive")
         else:  # [Write Exclusive], lines 25–29
             self._count("write_exclusive")
-            u = r[1]
+            u = r & TID_MASK
             residual, raced = self._multicheck(
                 t, self._lr.get(x, EMPTY), u, r)
             if residual:
                 self._er.setdefault(x, {})[u] = residual
-                w_tid = w[1] if w is not None else -1
+                w_tid = (w & TID_MASK) if w is not None else -1
                 if w_tid >= 0:
                     w_res, _ = self._multicheck(
                         t, self._lw.get(x, EMPTY), w_tid, None)
@@ -207,15 +211,16 @@ class SmartTrack(VectorClockAnalysis):
         snap = tuple(self._stack[t])  # line 36
         self._lw[x] = snap
         self._lr[x] = snap
-        self._write[x] = (time, t)  # line 37
-        self._read[x] = (time, t)
+        self._write[x] = e  # line 37
+        self._read[x] = e
 
     # -- reads (Algorithm 3 Read) ----------------------------------------------
     def read(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
         time = self._time(t)
+        e = time << TID_BITS | t
         r = self._read.get(x)
-        if type(r) is tuple and r[0] == time and r[1] == t:
+        if r == e:
             return  # [Read Same Epoch]
         is_vc = type(r) is VectorClock
         if is_vc and r[t] == time:
@@ -237,13 +242,14 @@ class SmartTrack(VectorClockAnalysis):
                 r[t] = time
                 return
             self._count("read_shared")  # [Read Shared], lines 22–25
+            w_tid = (w & TID_MASK) if w is not None else -1
             residual, raced = self._multicheck(
-                t, self._lw.get(x, EMPTY), w[1] if w else -1, w)
+                t, self._lw.get(x, EMPTY), w_tid, w)
             if residual and w is not None:
                 # Deviation (DESIGN.md §4): keep the residual write CSs in
                 # E^w_x so later owned-case reads inside critical sections
                 # still absorb the rule (a) ordering.
-                self._ew.setdefault(x, {})[w[1]] = residual
+                self._ew.setdefault(x, {})[w_tid] = residual
             if raced:
                 self._race(i, site, x, t, "read", "write-read")
             self._lr_set_thread(x, t)
@@ -252,14 +258,14 @@ class SmartTrack(VectorClockAnalysis):
         if r is None:  # first access: trivial [Read Exclusive]
             self._count("read_exclusive")
             self._lr[x] = tuple(self._stack[t])
-            self._read[x] = (time, t)
+            self._read[x] = e
             return
-        if r[1] == t:  # [Read Owned], lines 7–9
+        if (r & TID_MASK) == t:  # [Read Owned], lines 7–9
             self._count("read_owned")
             self._lr[x] = tuple(self._stack[t])
-            self._read[x] = (time, t)
+            self._read[x] = e
             return
-        u = r[1]
+        u = r & TID_MASK
         lr = self._lr.get(x, EMPTY)
         # lines 10–11: the last access's *outermost* release time decides
         # between [Read Exclusive] and [Read Share]
@@ -271,19 +277,20 @@ class SmartTrack(VectorClockAnalysis):
         if ordered:  # [Read Exclusive], lines 12–14
             self._count("read_exclusive")
             self._lr[x] = tuple(self._stack[t])
-            self._read[x] = (time, t)
+            self._read[x] = e
             return
         self._count("read_share")  # [Read Share], lines 15–18
+        w_tid = (w & TID_MASK) if w is not None else -1
         residual, raced = self._multicheck(
-            t, self._lw.get(x, EMPTY), w[1] if w else -1, w)
+            t, self._lw.get(x, EMPTY), w_tid, w)
         if residual and w is not None:
             # Deviation (DESIGN.md §4): see [Read Shared] above.
-            self._ew.setdefault(x, {})[w[1]] = residual
+            self._ew.setdefault(x, {})[w_tid] = residual
         if raced:
             self._race(i, site, x, t, "read", "write-read")
         self._lr[x] = {u: lr, t: tuple(self._stack[t])}
         vc = VectorClock.zeros(self.width)
-        vc[u] = r[0]
+        vc[u] = r >> TID_BITS
         vc[t] = time
         self._read[x] = vc
 

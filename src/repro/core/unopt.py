@@ -36,6 +36,8 @@ class UnoptPredictive(VectorClockAnalysis):
 
     tier = "unopt"
     BUMP_AT_ACQUIRE = True
+    #: implements the §5.1-style same-epoch skip at accesses
+    SAME_EPOCH_SKIP = True
     USES_RULE_B = False
     EPOCH_ACQ_QUEUES = False
     #: WCP only: keep L^{r,w}_{m,x} split per contributing thread, because
@@ -45,8 +47,8 @@ class UnoptPredictive(VectorClockAnalysis):
     SPLIT_L_BY_THREAD = False
 
     def __init__(self, trace: Trace, build_graph: bool = False,
-                 rule_b_style: str = "log"):
-        super().__init__(trace)
+                 rule_b_style: str = "log", collect_cases: bool = False):
+        super().__init__(trace, collect_cases=collect_cases)
         self._read: Dict[int, VectorClock] = {}
         self._write: Dict[int, VectorClock] = {}
         # L^r_{m,x} / L^w_{m,x}: (lock, var) -> accumulated release clock
@@ -234,17 +236,25 @@ class _WcpMixin:
         self._lock_wcp: Dict[int, VectorClock] = {}
         self._lock_hb: Dict[int, VectorClock] = {}
 
+    def adopt_shared_hb(self, bank) -> None:
+        """See :meth:`VectorClockAnalysis.adopt_shared_hb`; also rebinds
+        the per-lock HB release clocks to the bank's."""
+        super().adopt_shared_hb(bank)
+        self._lock_hb = bank.lock_hb
+
     def _acquire_compose(self, t: int, m: int) -> None:
         wcp = self._lock_wcp.get(m)
         if wcp is not None:
             self.cc[t].join(wcp)
-        hb = self._lock_hb.get(m)
-        if hb is not None:
-            self.hh[t].join(hb)
+        if self._hb_owner:
+            hb = self._lock_hb.get(m)
+            if hb is not None:
+                self.hh[t].join(hb)
 
     def _release_publish(self, t: int, m: int) -> None:
         self._lock_wcp[m] = self.cc[t].copy()
-        self._lock_hb[m] = self.hh[t].copy()
+        if self._hb_owner:
+            self._lock_hb[m] = self.hh[t].copy()
 
     def footprint_bytes(self) -> int:
         vc = _vc_bytes(self.width)

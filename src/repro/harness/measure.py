@@ -82,11 +82,16 @@ def uninstrumented_time(trace: Trace, repeats: int = 3) -> float:
 
 def measure_once(trace: Trace, analysis_name: str, program: str = "",
                  baseline: Optional[float] = None,
-                 sample_every: int = 4096) -> MeasureResult:
-    """Run one analysis over one trace, timing it against the baseline."""
+                 sample_every: int = 4096,
+                 collect_cases: bool = False) -> MeasureResult:
+    """Run one analysis over one trace, timing it against the baseline.
+
+    ``collect_cases`` turns on per-case counting (Table 12 needs it);
+    timed cells keep it off so the timing tables do not pay for it.
+    """
     if baseline is None:
         baseline = uninstrumented_time(trace)
-    analysis = create(analysis_name, trace)
+    analysis = create(analysis_name, trace, collect_cases=collect_cases)
     t0 = time.perf_counter()
     report = analysis.run(sample_every=sample_every)
     seconds = time.perf_counter() - t0
@@ -179,21 +184,29 @@ class Measurements:
             self._baselines[program] = uninstrumented_time(self.trace_for(program))
         return self._baselines[program]
 
-    def runs(self, program: str, analysis: str) -> List[MeasureResult]:
-        """All trials for a cell, measuring on first use."""
-        key = (program, analysis)
+    def runs(self, program: str, analysis: str,
+             collect_cases: bool = False) -> List[MeasureResult]:
+        """All trials for a cell, measuring on first use.
+
+        ``collect_cases=True`` memoizes separately: case-counted runs
+        (Table 12) pay extra per-access cost, so they must not pollute
+        the timing cells.
+        """
+        key = (program, analysis, collect_cases)
         if key not in self._results:
             trace = self.trace_for(program)
             base = self.baseline(program)
             self._results[key] = [
-                measure_once(trace, analysis, program, baseline=base)
+                measure_once(trace, analysis, program, baseline=base,
+                             collect_cases=collect_cases)
                 for _ in range(self.trials)
             ]
         return self._results[key]
 
-    def cell(self, program: str, analysis: str) -> MeasureResult:
+    def cell(self, program: str, analysis: str,
+             collect_cases: bool = False) -> MeasureResult:
         """First-trial result for a cell (the common single-trial case)."""
-        return self.runs(program, analysis)[0]
+        return self.runs(program, analysis, collect_cases)[0]
 
     def multi(self, program: str,
               analyses: Sequence[str]) -> MultiMeasureResult:

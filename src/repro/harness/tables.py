@@ -274,7 +274,7 @@ def table12(meas: Measurements) -> Tuple[str, Dict]:
         "program", "kind", "total", "OwnExcl", "OwnShared", "Excl",
         "Share", "Shared"))
     for prog in program_names():
-        counts = meas.cell(prog, "st-wdc").report.case_counts
+        counts = meas.cell(prog, "st-wdc", collect_cases=True).report.case_counts
         data[prog] = {}
         for kind, cases in (("read", _READ_CASES), ("write", _WRITE_CASES)):
             total = sum(counts.get(c, 0) for c, _ in cases)

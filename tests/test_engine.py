@@ -167,10 +167,31 @@ class TestProgress:
                              progress=seen.append, chunk_events=512)
         result = runner.run(trace)
         # called once per chunk with the running event count, regardless
-        # of how many analyses are registered
+        # of how many analyses are registered; the shared same-epoch
+        # filter means one chunk covers >= chunk_events source events,
+        # so boundaries are monotone and there are at most ceil(n/512)
+        # of them, with the final call reporting the full count
         n = result.events_processed
-        assert seen == [min(512 * (c + 1), n)
-                        for c in range((n + 511) // 512)]
+        assert seen[-1] == n
+        assert seen == sorted(set(seen))
+        assert len(seen) <= (n + 511) // 512 + 1
+        assert all(b - a >= 512 for a, b in zip(seen[:-1], seen[1:-1]))
+
+    def test_progress_reaches_total_when_tail_is_filtered(self):
+        # regression: a stream whose trailing events are all dropped by
+        # the shared same-epoch filter yields no final chunk, but the
+        # callback must still report the full event count
+        from repro.trace.event import Event, READ
+        from repro.trace.trace import Trace
+
+        events = [Event(0, READ, x, 1) for x in (0, 1, 2, 3)]
+        events += [Event(0, READ, 0, 1)] * 10
+        trace = Trace(events)
+        seen = []
+        result = MultiRunner([create("fto-hb", trace)], chunk_events=4,
+                             progress=seen.append).run(trace)
+        assert result.events_processed == len(trace)
+        assert seen[-1] == len(trace)
 
 
 class TestStreaming:
@@ -229,3 +250,289 @@ class TestStreaming:
         for name in ("st-wdc", "fto-hb"):
             solo = repro.detect_races(trace, name)
             assert _race_key(streamed.report(name)) == _race_key(solo)
+
+
+class ExplodingWcp(Analysis):
+    """A TRACKS_HB analysis that raises partway through, to exercise
+    error isolation inside a fused shared-HB group."""
+
+    name = "exploding-wcp"
+    relation = "wcp"
+    tier = "test"
+
+    def __new__(cls, trace, explode_at=0):
+        from repro.core.unopt import UnoptWCP
+
+        class _Boom(UnoptWCP):
+            name = "exploding-wcp"
+
+            def read(self, t, x, i, site):
+                if i >= self.explode_at:
+                    raise ZeroDivisionError("boom at {}".format(i))
+                return super().read(t, x, i, site)
+
+        inst = _Boom(trace)
+        inst.explode_at = explode_at
+        return inst
+
+
+class TestSharedHB:
+    def _wcp_trace(self, rng, n=200):
+        return random_trace(rng, n_events=n, threads=4, locks=3, nvars=4)
+
+    def test_bank_activates_for_two_or_more_wcp_analyses(self, rng):
+        trace = self._wcp_trace(rng)
+        analyses = [create(n, trace) for n in
+                    ("unopt-wcp", "fto-wcp", "st-wcp", "fto-dc")]
+        runner = MultiRunner(analyses)
+        # adoption is deferred to run() so a never-run runner leaves
+        # its analyses untouched
+        assert runner.hb_groups == []
+        assert all(a._hb_owner for a in analyses[:3])
+        runner.run(trace)
+        assert len(runner.hb_groups) == 1
+        bank, members = runner.hb_groups[0]
+        assert len(members) == 3
+        assert bank.refs == 3
+        # every member reads literally the same clock bank
+        for entry in members:
+            assert entry.analysis.hh is bank.hh
+            assert entry.analysis._hvol_w is bank.vol_w
+            assert entry.analysis._lock_hb is bank.lock_hb
+            assert entry.analysis._hb_owner is False
+        # the non-WCP analysis keeps private state
+        assert analyses[3].hh is None
+
+    def test_no_bank_for_a_single_wcp_analysis(self, rng):
+        trace = self._wcp_trace(rng)
+        runner = MultiRunner([create("st-wcp", trace),
+                              create("fto-dc", trace)])
+        runner.run(trace)
+        assert runner.hb_groups == []
+        assert runner.entries[0].analysis._hb_owner is True
+
+    def test_share_hb_false_disables_grouping(self, rng):
+        trace = self._wcp_trace(rng)
+        analyses = [create(n, trace) for n in ("unopt-wcp", "st-wcp")]
+        runner = MultiRunner(analyses, share_hb=False)
+        result = runner.run(trace)
+        assert runner.hb_groups == []
+        for name in ("unopt-wcp", "st-wcp"):
+            solo = repro.detect_races(trace, name)
+            assert _race_key(result.report(name)) == _race_key(solo), name
+
+    def test_used_analysis_is_not_adopted(self, rng):
+        trace = self._wcp_trace(rng)
+        used = create("st-wcp", trace)
+        used.run()  # no longer fresh: its HB clocks have advanced
+        fresh = create("fto-wcp", trace)
+        runner = MultiRunner([used, fresh])
+        runner.run(trace)
+        assert runner.hb_groups == []
+
+    def test_shared_reports_match_solo_including_hard_edges(self, rng):
+        # forks/joins/volatiles/class-inits all mutate HB state; the
+        # bank must replicate each transition exactly once
+        from tests.test_fuzz_differential import fuzzed_trace
+        import random as _random
+
+        for trial in (1, 3, 6, 9):
+            trace = fuzzed_trace(_random.Random(99), trial)
+            wcp_names = ("unopt-wcp", "fto-wcp", "st-wcp")
+            result = MultiRunner(
+                [create(n, trace) for n in wcp_names]).run(trace)
+            assert result.ok
+            for name in wcp_names:
+                solo = repro.detect_races(trace, name)
+                assert _race_key(result.report(name)) == _race_key(solo), \
+                    (trial, name)
+
+    def test_group_member_failure_is_isolated(self, rng):
+        trace = self._wcp_trace(rng)
+        boom = ExplodingWcp(trace, explode_at=40)
+        survivors = [create("st-wcp", trace), create("fto-wcp", trace)]
+        runner = MultiRunner([boom] + survivors)
+        result = runner.run(trace)
+        assert len(runner.hb_groups) == 1
+        bank, members = runner.hb_groups[0]
+        (failure,) = result.failures
+        assert failure.name == "exploding-wcp"
+        assert isinstance(failure.error, ZeroDivisionError)
+        assert bank.refs == 2
+        # the surviving members still match their solo runs exactly
+        for name in ("st-wcp", "fto-wcp"):
+            solo = repro.detect_races(trace, name)
+            assert _race_key(result.report(name)) == _race_key(solo), name
+            assert result.report(name).events_processed == len(trace)
+
+    def test_all_group_members_can_fail(self, rng):
+        trace = self._wcp_trace(rng)
+        a = ExplodingWcp(trace, explode_at=10)
+        b = ExplodingWcp(trace, explode_at=30)
+        result = MultiRunner([a, b, create("fto-hb", trace)]).run(trace)
+        assert len(result.failures) == 2
+        solo = repro.detect_races(trace, "fto-hb")
+        assert _race_key(result.report("fto-hb")) == _race_key(solo)
+        assert result.events_processed == len(trace)
+
+    def test_footprint_sampling_matches_solo_in_shared_mode(self, rng):
+        trace = self._wcp_trace(rng, n=400)
+        analyses = [create(n, trace) for n in ("unopt-wcp", "st-wcp")]
+        runner = MultiRunner(analyses, sample_every=32)
+        result = runner.run(trace)
+        assert len(runner.hb_groups) == 1
+        for name in ("unopt-wcp", "st-wcp"):
+            solo = create(name, trace).run(sample_every=32)
+            assert result.report(name).peak_footprint_bytes == \
+                solo.peak_footprint_bytes, name
+
+
+class TestSameEpochFilter:
+    def test_filter_disabled_under_sampling_and_case_counts(self, rng):
+        trace = random_trace(rng, n_events=150)
+        # sampling on: filter must not skip records (peaks sampled at
+        # the same indices as solo runs)
+        r1 = MultiRunner([create("fto-hb", trace)], sample_every=16)
+        r1.run(trace)
+        # case counting on: same-epoch case counters must keep counting
+        counting = create("fto-hb", trace, collect_cases=True)
+        result = MultiRunner([counting]).run(trace)
+        solo = create("fto-hb", trace, collect_cases=True).run()
+        assert result.report("fto-hb").case_counts == solo.case_counts
+
+    def test_repeated_accesses_report_identically(self):
+        from repro.trace.builder import TraceBuilder
+
+        b = TraceBuilder()
+        for _ in range(10):
+            b.read("T1", "x")
+        b.write("T2", "x")  # race with T1's reads
+        for _ in range(10):
+            b.write("T2", "x")  # same-epoch repeats
+        trace = b.build()
+        result = repro.detect_races_multi(trace)
+        for name in MAIN_MATRIX:
+            solo = repro.detect_races(trace, name)
+            assert _race_key(result.report(name)) == _race_key(solo), name
+
+    def test_filter_gated_on_same_epoch_capability(self, rng):
+        # a custom analysis without the [Same Epoch] fast-path semantics
+        # must see every event, even co-scheduled with built-in tiers
+        trace = random_trace(rng, n_events=120)
+
+        class CountingAnalysis(Analysis):
+            name = "counting"
+
+            def __init__(self, tr):
+                super().__init__(tr)
+                self.calls = 0
+
+            def _handle(self, t, x, i, site):
+                self.calls += 1
+
+            read = write = acquire = release = _handle
+            fork = join = volatile_read = volatile_write = _handle
+            static_init = static_access = _handle
+
+        counting = CountingAnalysis(trace)
+        result = MultiRunner([counting, create("st-wdc", trace)]).run(trace)
+        assert result.ok
+        assert counting.calls == len(trace)
+        # built-in tiers declare the capability, so a matrix-only run
+        # does filter (strictly fewer dispatches than events)
+        probe = CountingAnalysis(trace)
+        probe.SAME_EPOCH_SKIP = True
+        MultiRunner([probe]).run(trace)
+        assert probe.calls < len(trace)
+
+    def test_adopted_member_refuses_solo_run(self, rng):
+        # regression: after an engine pass adopted an analysis into the
+        # shared bank, running it solo must fail loudly, not silently
+        # report with frozen HB clocks
+        trace = random_trace(rng, n_events=200, threads=4, locks=3)
+        a1, a2 = create("st-wcp", trace), create("fto-wcp", trace)
+        MultiRunner([a1, a2]).run(trace)
+        with pytest.raises(RuntimeError, match="shared bank"):
+            a1.run()
+
+    def test_never_run_runner_leaves_analyses_usable(self, rng):
+        trace = random_trace(rng, n_events=200, threads=4, locks=3)
+        a1, a2 = create("st-wcp", trace), create("fto-wcp", trace)
+        MultiRunner([a1, a2])  # constructed, never run
+        solo = create("st-wcp", trace).run()
+        assert _race_key(a1.run()) == _race_key(solo)
+
+    def test_sampling_failure_detaches_only_the_faulty_member(self, rng):
+        # regression: a footprint_bytes failure fires *after* the bank's
+        # HB transition; it must be blamed on the member whose sampler
+        # raised, not the last-dispatched member, and must not re-apply
+        # the bank transition for that event
+        trace = random_trace(rng, n_events=300, threads=4, locks=3)
+        faulty = create("st-wcp", trace)
+
+        def bad_footprint(_orig=faulty.footprint_bytes):
+            raise OSError("sampler down")
+
+        faulty.footprint_bytes = bad_footprint
+        survivors = [create("unopt-wcp", trace), create("fto-wcp", trace)]
+        result = MultiRunner([survivors[0], faulty, survivors[1]],
+                             sample_every=16).run(trace)
+        (failure,) = result.failures
+        assert failure.name == "st-wcp"
+        assert isinstance(failure.error, OSError)
+        for name in ("unopt-wcp", "fto-wcp"):
+            solo = create(name, trace).run(sample_every=16)
+            assert _race_key(result.report(name)) == _race_key(solo), name
+            assert result.report(name).peak_footprint_bytes == \
+                solo.peak_footprint_bytes, name
+
+
+class TestEpochEnderTable:
+    def test_epoch_enders_cover_every_tier_bump_site(self):
+        """The same-epoch filter's soundness rests on _EPOCH_ENDERS
+        marking every event kind at which any SAME_EPOCH_SKIP tier
+        advances a thread's local clock.  Drive each kind through a
+        fresh instance of every registry analysis and require: observed
+        bump => marked as an epoch ender."""
+        from repro.core.engine import _EPOCH_ENDERS
+        from repro.core.registry import ANALYSIS_NAMES
+        from repro.trace.event import (
+            ACQUIRE, FORK, JOIN, READ, RELEASE, STATIC_ACCESS,
+            STATIC_INIT, VOLATILE_READ, VOLATILE_WRITE, WRITE,
+        )
+        from repro.trace.trace import TraceInfo
+
+        info = TraceInfo(num_threads=2, num_locks=1, num_vars=1,
+                         num_volatiles=1, num_classes=1)
+        # per kind: (well-formedness prefix events, probe event), each
+        # as (kind, tid, target)
+        probes = {
+            READ: ([], (READ, 0, 0)),
+            WRITE: ([], (WRITE, 0, 0)),
+            ACQUIRE: ([], (ACQUIRE, 0, 0)),
+            RELEASE: ([(ACQUIRE, 0, 0)], (RELEASE, 0, 0)),
+            FORK: ([], (FORK, 0, 1)),
+            JOIN: ([(FORK, 0, 1)], (JOIN, 0, 1)),
+            VOLATILE_READ: ([], (VOLATILE_READ, 0, 0)),
+            VOLATILE_WRITE: ([], (VOLATILE_WRITE, 0, 0)),
+            STATIC_INIT: ([], (STATIC_INIT, 0, 0)),
+            STATIC_ACCESS: ([(STATIC_INIT, 1, 0)], (STATIC_ACCESS, 0, 0)),
+        }
+        for name in ANALYSIS_NAMES:
+            for kind, (prefix, probe) in probes.items():
+                analysis = create(name, info)
+                if not analysis.SAME_EPOCH_SKIP:
+                    continue
+                table = analysis.dispatch_table()
+                i = 0
+                for k, t, x in prefix:
+                    table[k](t, x, i, 0)
+                    i += 1
+                k, t, x = probe
+                before = analysis._time(t)
+                table[k](t, x, i, 0)
+                bumped = analysis._time(t) > before
+                assert not bumped or _EPOCH_ENDERS[kind], (
+                    "{} bumps the local clock at kind {} but the "
+                    "engine's same-epoch filter does not treat it as an "
+                    "epoch ender".format(name, kind))

@@ -1,0 +1,136 @@
+"""Property tests for the packed-epoch representation.
+
+Epochs ``c@t`` are packed ints ``c << TID_BITS | t``
+(:mod:`repro.clocks.epoch`).  These tests pin the representation:
+round-trips across the boundary tids/clocks, agreement of ``epoch_leq``
+with the original tuple formulation on randomized inputs, and the
+engine-facing width bound.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clocks import EPOCH_BOTTOM, VectorClock, epoch_leq
+from repro.clocks.epoch import (
+    MAX_TID,
+    TID_BITS,
+    TID_MASK,
+    clock_of,
+    epoch,
+    pack,
+    tid_of,
+)
+from repro.clocks.vector_clock import INF
+
+
+def tuple_epoch_leq(e, vc, self_tid):
+    """The pre-packing reference implementation (tuple epochs)."""
+    if e is None:
+        return True
+    c, t = e
+    return t == self_tid or c <= vc[t]
+
+
+class TestPackRoundTrip:
+    @pytest.mark.parametrize("clock", [0, 1, 2, 1000, INF - 1, INF, INF + 7])
+    @pytest.mark.parametrize("tid", [0, 1, 7, MAX_TID - 1, MAX_TID])
+    def test_boundary_round_trips(self, clock, tid):
+        e = pack(clock, tid)
+        assert clock_of(e) == clock
+        assert tid_of(e) == tid
+
+    def test_epoch_alias_is_pack(self):
+        assert epoch(5, 2) == pack(5, 2) == 5 << TID_BITS | 2
+
+    def test_bottom_unchanged(self):
+        assert EPOCH_BOTTOM is None
+
+    def test_packed_epochs_are_ordered_by_clock_within_thread(self):
+        # same tid: larger clock packs to a larger int (used nowhere for
+        # correctness, but a useful sanity property of the layout)
+        assert pack(3, 1) < pack(4, 1)
+
+    def test_distinct_components_never_collide(self):
+        seen = set()
+        for clock in (0, 1, 2, INF):
+            for tid in (0, 1, MAX_TID):
+                e = pack(clock, tid)
+                assert e not in seen
+                seen.add(e)
+
+    def test_mask_and_bits_consistent(self):
+        assert TID_MASK == (1 << TID_BITS) - 1
+        assert MAX_TID == TID_MASK
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=INF + 10),
+    st.integers(min_value=0, max_value=MAX_TID),
+)
+def test_round_trip_random(clock, tid):
+    e = pack(clock, tid)
+    assert (clock_of(e), tid_of(e)) == (clock, tid)
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    st.one_of(
+        st.none(),
+        st.tuples(st.integers(min_value=0, max_value=60),
+                  st.integers(min_value=0, max_value=3)),
+    ),
+    st.lists(st.integers(min_value=0, max_value=60), min_size=4, max_size=4),
+    st.integers(min_value=0, max_value=3),
+)
+def test_epoch_leq_agrees_with_tuple_reference(e_tuple, values, self_tid):
+    vc = VectorClock.of(values)
+    packed = None if e_tuple is None else pack(*e_tuple)
+    assert epoch_leq(packed, vc, self_tid) == \
+        tuple_epoch_leq(e_tuple, vc, self_tid)
+
+
+def test_epoch_leq_near_inf():
+    vc = VectorClock.of([0, INF])
+    assert epoch_leq(pack(INF, 1), vc, 0)
+    assert not epoch_leq(pack(INF + 1, 1), vc, 0)
+
+
+def test_randomized_dense_agreement():
+    """Exhaustive-ish sweep over small clocks — every (epoch, clock,
+    tid) combination agrees with the tuple reference."""
+    rng = random.Random(0xEC0C)
+    for _ in range(2000):
+        width = rng.randrange(1, 6)
+        vc = VectorClock.of([rng.randrange(0, 8) for _ in range(width)])
+        t = rng.randrange(width)
+        c = rng.randrange(0, 8)
+        self_tid = rng.randrange(width)
+        assert epoch_leq(pack(c, t), vc, self_tid) == \
+            tuple_epoch_leq((c, t), vc, self_tid)
+
+
+class TestWidthBound:
+    def test_too_many_threads_rejected(self):
+        from repro.core.hb_vc import UnoptHB
+        from repro.trace.trace import TraceInfo
+
+        info = TraceInfo(num_threads=MAX_TID + 2, num_locks=1, num_vars=1,
+                         num_volatiles=0, num_classes=0)
+        with pytest.raises(ValueError, match="packed epochs"):
+            UnoptHB(info)
+
+    def test_max_width_tid_round_trips_through_analysis_epoch(self):
+        from repro.core.hb_vc import UnoptHB
+        from repro.trace.trace import TraceInfo
+
+        width = 64  # representative; full 65536 would allocate 64k clocks
+        info = TraceInfo(num_threads=width, num_locks=1, num_vars=1,
+                         num_volatiles=0, num_classes=0)
+        analysis = UnoptHB(info)
+        e = analysis._epoch(width - 1)
+        assert tid_of(e) == width - 1
+        assert clock_of(e) == 1

@@ -136,8 +136,8 @@ class TestFigure4:
         # Share] (Thread 1 still holds p, so the outermost release time is
         # unknown), while FTO takes [Read Exclusive].
         trace = F.figure4a()
-        st_report = repro.detect_races(trace, "st-dc")
-        fto_report = repro.detect_races(trace, "fto-dc")
+        st_report = repro.detect_races(trace, "st-dc", collect_cases=True)
+        fto_report = repro.detect_races(trace, "fto-dc", collect_cases=True)
         assert st_report.case_counts.get("read_share", 0) >= 1
         assert fto_report.case_counts.get("read_share", 0) == 0
 

@@ -15,8 +15,8 @@ def build(fn):
     return b.build()
 
 
-def run(cls, trace):
-    analysis = cls(trace)
+def run(cls, trace, **kw):
+    analysis = cls(trace, **kw)
     report = analysis.run()
     return analysis, report
 
@@ -116,7 +116,7 @@ class TestEpochTransitions:
             b.read("T1", "x").volatile_write("T1", "g")
             b.volatile_read("T2", "g").read("T2", "x")
         analysis, _ = run(FastTrack2, build(body))
-        assert isinstance(analysis._read[0], tuple)
+        assert isinstance(analysis._read[0], int)  # packed epoch, not a VC
 
     def test_ft2_write_shared_resets_read_metadata(self):
         def body(b):
@@ -146,7 +146,7 @@ class TestEpochTransitions:
         def body(b):
             for _ in range(5):
                 b.read("T1", "x")
-        analysis, report = run(FTOHb, build(body))
+        analysis, report = run(FTOHb, build(body), collect_cases=True)
         assert report.dynamic_count == 0
         # only the first read is a non-same-epoch access
         assert analysis.case_counts.get("read_exclusive", 0) == 1
@@ -156,7 +156,7 @@ class TestEpochTransitions:
             b.read("T1", "x")
             b.acquire("T1", "m").release("T1", "m")
             b.read("T1", "x")
-        analysis, _ = run(FTOHb, build(body))
+        analysis, _ = run(FTOHb, build(body), collect_cases=True)
         assert analysis.case_counts.get("read_owned", 0) == 1
 
 

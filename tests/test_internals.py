@@ -3,6 +3,7 @@ lifecycle, vindication's closure steps, and oracle internals."""
 
 import pytest
 
+from repro.clocks.epoch import pack
 from repro.clocks.vector_clock import INF, VectorClock
 from repro.core.cslist import CSEntry, open_entry
 from repro.core.smarttrack import SmartTrackDC
@@ -30,7 +31,7 @@ class TestMultiCheck:
 
     def test_empty_list_runs_race_check_only(self):
         analysis = self._analysis()
-        residual, raced = analysis._multicheck(0, (), 1, (5, 1))
+        residual, raced = analysis._multicheck(0, (), 1, pack(5, 1))
         assert residual is None
         assert raced  # thread 0 knows nothing about thread 1
 
@@ -39,14 +40,14 @@ class TestMultiCheck:
         analysis.cc[0][1] = 10
         outer = self._entry(7, 1, [0, 4])  # released at u-time 4 <= 10
         inner = self._entry(8, 1, [0, INF])
-        residual, raced = analysis._multicheck(0, (outer, inner), 1, (99, 1))
+        residual, raced = analysis._multicheck(0, (outer, inner), 1, pack(99, 1))
         assert residual is None and not raced
 
     def test_held_lock_joins_and_stops(self):
         analysis = self._analysis(held=(7,))
         release_time = VectorClock.of([0, 6])
         outer = CSEntry(release_time, 7)
-        residual, raced = analysis._multicheck(0, (outer,), 1, (99, 1))
+        residual, raced = analysis._multicheck(0, (outer,), 1, pack(99, 1))
         assert not raced  # conflict join subsumes the race check
         assert analysis.cc[0][1] == 6  # rule (a) ordering added
 
@@ -54,7 +55,7 @@ class TestMultiCheck:
         analysis = self._analysis(held=())
         entry = self._entry(9, 1, [0, INF])  # open critical section
         analysis.cc[0][1] = 100
-        residual, raced = analysis._multicheck(0, (entry,), 1, (5, 1))
+        residual, raced = analysis._multicheck(0, (entry,), 1, pack(5, 1))
         assert residual == {9: entry.clock}
         assert not raced  # epoch 5@T1 <= 100 passes
 
@@ -62,7 +63,7 @@ class TestMultiCheck:
         analysis = self._analysis(held=(3,))
         outer = self._entry(9, 1, [0, INF])  # unordered, unheld
         inner = CSEntry(VectorClock.of([0, 2]), 3)  # held -> join
-        residual, raced = analysis._multicheck(0, (outer, inner), 1, (99, 1))
+        residual, raced = analysis._multicheck(0, (outer, inner), 1, pack(99, 1))
         assert 9 in residual
         assert not raced
 

@@ -196,7 +196,7 @@ class TestSmartTrackInternals:
 
     def test_case_counters_cover_all_nsea_cases(self):
         from repro.workloads import figure4a
-        _, report = run(SmartTrackWDC, figure4a())
+        _, report = run(SmartTrackWDC, figure4a(), collect_cases=True)
         assert sum(report.case_counts.values()) > 0
 
 

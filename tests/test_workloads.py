@@ -152,7 +152,7 @@ class TestCharacterize:
     def test_nsea_matches_fto_case_counts(self):
         trace = generate_trace(small_spec(seed=5))
         ch = characterize(trace)
-        report = repro.detect_races(trace, "fto-wdc")
+        report = repro.detect_races(trace, "fto-wdc", collect_cases=True)
         fto_nseas = sum(report.case_counts.values())
         # the lightweight tracker mirrors FTO's same-epoch semantics
         assert abs(fto_nseas - ch.nseas) <= 0.02 * ch.nseas + 5
