@@ -16,6 +16,15 @@ Quick start::
     print(repro.detect_races(trace, "st-dc").dynamic_count)    # 1: predictive race
     print(repro.vindicate_first_race(trace, "st-wdc").witness) # a reordering
 
+Online analysis: the engine also runs *during* execution — bind a live
+source (:mod:`repro.trace.live`: Unix/TCP socket or FIFO, either wire
+format) and drain it through an incremental
+:class:`~repro.core.engine.EngineSession`
+(``MultiRunner.session()`` → ``feed``/``snapshot``/``finish``), or just
+run ``python -m repro serve /tmp/repro.sock`` and point a producer
+(``repro generate --to-socket``) at it.  Reports are identical to the
+offline pass on the same events.
+
 See ``examples/`` for runnable scenarios and ``DESIGN.md`` for the system
 inventory.
 """
@@ -23,7 +32,14 @@ inventory.
 from __future__ import annotations
 
 from repro.core.base import Analysis, RaceRecord, RaceReport
-from repro.core.engine import MultiResult, MultiRunner, run_analyses, run_stream
+from repro.core.engine import (
+    EngineSession,
+    MultiResult,
+    MultiRunner,
+    SessionSnapshot,
+    run_analyses,
+    run_stream,
+)
 from repro.core.registry import ANALYSIS_NAMES, MAIN_MATRIX, create, relation_of, tier_of
 from repro.trace.builder import TraceBuilder
 from repro.trace.event import Event
@@ -42,12 +58,14 @@ __version__ = "1.0.0"
 __all__ = [
     "ANALYSIS_NAMES",
     "Analysis",
+    "EngineSession",
     "Event",
     "MAIN_MATRIX",
     "MultiResult",
     "MultiRunner",
     "RaceRecord",
     "RaceReport",
+    "SessionSnapshot",
     "Trace",
     "TraceBuilder",
     "TraceFormatError",

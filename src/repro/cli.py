@@ -11,6 +11,8 @@ vindicate on demand (§4.3)::
     python -m repro convert recorded.trace recorded.bin
     python -m repro tables --table 4 --scale 0.5
     python -m repro generate --program xalan --scale 0.2 -o xalan.trace
+    python -m repro serve /tmp/repro.sock -a st-wdc --emit jsonl
+    python -m repro generate --program xalan --to-socket /tmp/repro.sock
     python -m repro characterize recorded.trace
 
 ``analyze --stream`` and ``compare`` run every requested analysis in a
@@ -22,6 +24,18 @@ to ingest; see :mod:`repro.trace.binfmt`) — autodetecting from the
 file's leading bytes; ``convert`` translates between them (by default to
 the opposite of the input's format) and ``generate --binary`` records
 binary directly.
+
+``serve`` is the *online* counterpart of ``analyze --stream``: it binds
+a Unix socket path (or ``HOST:PORT`` for TCP), waits for exactly one
+producer, and analyzes the feed incrementally
+(:meth:`repro.core.engine.MultiRunner.session`), printing each race the
+moment it is found — as human-readable lines or, with ``--emit jsonl``,
+one JSON object per line — followed by the same per-analysis summary
+block ``analyze`` prints.  ``generate --to-socket`` is the matching
+producer; any recorder that writes either trace format to the socket
+works.  A second connection attempt is refused (one execution per
+session), and ``--timeout`` bounds both the wait for the producer and
+every read, so a stalled feed exits 2 instead of hanging.
 
 Exit status contract: 0 = no races, 1 = races found, 2 = unreadable,
 malformed, or partially failed analysis.  2 takes precedence: a run that
@@ -64,6 +78,20 @@ def _print_report(name: str, report, args) -> int:
     return 1 if report.dynamic_count else 0
 
 
+def _print_entries(result, args) -> int:
+    """The per-analysis summary block shared by ``analyze --stream`` and
+    ``serve``: one FAILED line or one report per entry.  Returns 1 if
+    any surviving analysis found races."""
+    races_found = 0
+    for entry in result.entries:
+        if entry.failure is not None:
+            print("{:<12} FAILED at event {}: {!r}".format(
+                entry.name, entry.failure.event_index, entry.failure.error))
+        else:
+            races_found |= _print_report(entry.name, entry.report, args)
+    return races_found
+
+
 def _cmd_analyze(args) -> int:
     analyses = args.analysis or ["st-wdc"]
     sample = 4096 if args.memory else 0
@@ -74,14 +102,7 @@ def _cmd_analyze(args) -> int:
                   "rerun without --stream", file=sys.stderr)
             return 2
         result = run_stream(args.trace, analyses, sample_every=sample)
-        races_found = 0
-        for entry in result.entries:
-            if entry.failure is not None:
-                print("{:<12} FAILED at event {}: {!r}".format(
-                    entry.name, entry.failure.event_index,
-                    entry.failure.error))
-            else:
-                races_found |= _print_report(entry.name, entry.report, args)
+        races_found = _print_entries(result, args)
         # 2 beats 1: a partially failed run is unreliable even when the
         # surviving analyses report races (documented 0/1/2 contract)
         return 2 if not result.ok else races_found
@@ -173,13 +194,108 @@ def _cmd_tables(args) -> int:
 
 
 def _cmd_generate(args) -> int:
+    if bool(args.output) == bool(args.to_socket):
+        print("error: generate needs exactly one of -o/--output or "
+              "--to-socket", file=sys.stderr)
+        return 2
     trace = dacapo_trace(args.program, scale=args.scale, cache=False)
+    if args.to_socket:
+        from repro.trace.live import send_trace
+        try:
+            count = send_trace(trace, args.to_socket, binary=args.binary,
+                               connect_timeout=args.connect_timeout)
+        except OSError as exc:
+            # handled here, not by main(): a BrokenPipeError from the
+            # server dropping mid-send must be a loud exit 2, not the
+            # silent exit 0 of the `analyze | head` stdout case
+            print("error: streaming to {} failed: {}".format(
+                args.to_socket, exc), file=sys.stderr)
+            return 2
+        print("streamed {} events ({} threads) to {}{}".format(
+            count, trace.num_threads, args.to_socket,
+            " [binary]" if args.binary else ""))
+        return 0
     with open(args.output, "wb" if args.binary else "w") as fp:
         dump_trace(trace, fp, binary=args.binary)
     print("wrote {} events ({} threads) to {}{}".format(
         len(trace), trace.num_threads, args.output,
         " [binary]" if args.binary else ""))
     return 0
+
+
+def _emit_live_race(name: str, race, emit_json: bool) -> None:
+    """Print one just-discovered race (flushed: the consumer is live)."""
+    if emit_json:
+        import json
+        print(json.dumps({"type": "race", "analysis": name,
+                          "event": race.index, "tid": race.tid,
+                          "var": race.var, "site": race.site,
+                          "access": race.access, "kinds": race.kinds},
+                         sort_keys=True), flush=True)
+    else:
+        print("race {:<12} event {:>6}  T{}  {} of x{}  ({})".format(
+            name, race.index, race.tid, race.access, race.var, race.kinds),
+            flush=True)
+
+
+def _cmd_serve(args) -> int:
+    from repro.core.engine import MultiRunner
+    from repro.trace.live import TraceListener
+
+    analyses = args.analysis or ["st-wdc"]
+    emit_json = args.emit == "jsonl"
+    window = max(args.window, 1)
+    listener = TraceListener(args.socket)
+    print("serving on {} (analyses: {}; one producer, then exit)".format(
+        listener.describe(), ", ".join(analyses)), file=sys.stderr)
+    sys.stderr.flush()
+    source = listener.accept(timeout=args.timeout)
+    feed_error: Optional[BaseException] = None
+    with source:
+        info = source.require_info()
+        try:
+            instances = [create(name, info) for name in analyses]
+        except ValueError as exc:
+            # a remote producer controls these dimensions; an absurd
+            # header (e.g. more threads than packed epochs support) is a
+            # bad feed (exit 2), not a crash with an undocumented code
+            print("error: cannot analyze this feed: {}".format(exc),
+                  file=sys.stderr)
+            return 2
+        runner = MultiRunner(instances)
+        session = runner.session()
+        try:
+            for name, race in session.drain(source, window=window):
+                _emit_live_race(name, race, emit_json)
+        except (TraceFormatError, OSError) as exc:
+            # the feed died (malformed bytes, timeout, reset/dropped
+            # connection), the session did not: emit what the surviving
+            # analyses know, then exit 2
+            feed_error = exc
+        result = session.finish()
+    races_found = 0
+    if emit_json:
+        import json
+        for entry in result.entries:
+            if entry.failure is not None:
+                print(json.dumps({"type": "failure", "analysis": entry.name,
+                                  "event": entry.failure.event_index,
+                                  "error": repr(entry.failure.error)},
+                                 sort_keys=True), flush=True)
+            else:
+                print(json.dumps({"type": "summary", "analysis": entry.name,
+                                  "dynamic": entry.report.dynamic_count,
+                                  "static": entry.report.static_count,
+                                  "events": result.events_processed},
+                                 sort_keys=True), flush=True)
+                races_found |= 1 if entry.report.dynamic_count else 0
+    else:
+        races_found = _print_entries(result, args)
+    if feed_error is not None:
+        print("error: live feed failed after {} events: {}".format(
+            result.events_processed, feed_error), file=sys.stderr)
+        return 2
+    return 2 if not result.ok else races_found
 
 
 def _cmd_convert(args) -> int:
@@ -297,11 +413,48 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--program", choices=sorted(DACAPO_SPECS),
                           required=True)
     generate.add_argument("--scale", type=float, default=1.0)
-    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("-o", "--output",
+                          help="destination trace file (or use --to-socket)")
     generate.add_argument("--binary", action="store_true",
                           help="record in the v2 binary format (smaller, "
                                ">2x faster to re-ingest)")
+    generate.add_argument("--to-socket", metavar="ENDPOINT",
+                          help="stream the trace to a listening "
+                               "'repro serve' endpoint (unix path or "
+                               "HOST:PORT) instead of writing a file")
+    generate.add_argument("--connect-timeout", type=float, default=10.0,
+                          help="seconds to keep retrying the --to-socket "
+                               "connection while the server starts "
+                               "(default 10)")
     generate.set_defaults(func=_cmd_generate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="bind a socket, await one live trace feed, and report races "
+             "as they are found")
+    serve.add_argument("socket",
+                       help="endpoint to bind: a unix socket path, or "
+                            "HOST:PORT for TCP (port 0 picks a free port, "
+                            "printed on stderr)")
+    serve.add_argument("-a", "--analysis", action="append",
+                       choices=ANALYSIS_NAMES,
+                       help="analysis name (repeatable; default st-wdc)")
+    serve.add_argument("--emit", choices=("text", "jsonl"), default="text",
+                       help="race-stream format: human-readable lines or "
+                            "one JSON object per line (races while the "
+                            "feed runs, then per-analysis summaries)")
+    serve.add_argument("--window", type=int, default=256,
+                       help="events per incremental engine feed; smaller "
+                            "windows report races sooner, larger ones "
+                            "replay cheaper (default 256)")
+    serve.add_argument("--timeout", type=float, default=None,
+                       help="seconds to wait for the producer to connect "
+                            "and for each read; a stalled feed exits 2 "
+                            "(default: wait forever)")
+    serve.add_argument("--max-races", type=int, default=10,
+                       help="dynamic races to list per analysis in the "
+                            "final summary")
+    serve.set_defaults(func=_cmd_serve, memory=False)
 
     convert = sub.add_parser(
         "convert",

@@ -36,7 +36,19 @@ feeds every registered analysis from it:
   and still produce reports;
 * **shared sampling** — footprint peaks and progress callbacks are
   sampled once per cadence for all analyses, at the same event indices
-  :meth:`Analysis.run` would use, so peaks are comparable across paths.
+  :meth:`Analysis.run` would use, so peaks are comparable across paths;
+* **incremental sessions** — :meth:`MultiRunner.session` opens an
+  :class:`EngineSession` whose :meth:`~EngineSession.feed` accepts the
+  event stream in arbitrary installments (a live socket/FIFO feed drained
+  in bounded windows — see :mod:`repro.trace.live`) and returns the races
+  discovered by that installment the moment they exist;
+  :meth:`~EngineSession.snapshot` is a cheap mid-stream progress view and
+  :meth:`~EngineSession.finish` seals the pass.  The one-shot
+  :meth:`MultiRunner.run` is a thin feed-everything-then-finish wrapper,
+  so offline and online paths share every optimization (flat chunks,
+  shared HB banks, the same-epoch filter) and produce identical reports
+  (the differential fuzz sweep replays every fuzzed trace through a live
+  socket session and asserts this).
 
 Analyses are ordinary instances; two instances of the *same* analysis can
 run side by side (each owns all of its mutable state — the dispatch-table
@@ -49,7 +61,16 @@ from __future__ import annotations
 
 import gc
 from itertools import islice
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.clocks.epoch import TID_BITS
 from repro.core.base import Analysis, HANDLER_NAMES, RaceReport
@@ -154,6 +175,361 @@ class MultiResult:
             len(self.entries), self.events_processed, len(self.failures))
 
 
+class SessionSnapshot:
+    """A cheap, read-only progress view of a live :class:`EngineSession`.
+
+    Snapshots are O(races) counter reads: they do **not** fork the shared
+    HB clock banks or any analysis metadata (the banks keep evolving as
+    events arrive; forking them into a resumable checkpoint would deep-copy
+    every member's clock references, which is exactly the cost the sharing
+    avoids — see DESIGN.md §5.2).  Use :meth:`EngineSession.finish` to seal
+    the pass and obtain real :class:`~repro.core.base.RaceReport` objects.
+
+    ``dynamic_counts``/``static_counts`` are keyed by analysis name (first
+    instance wins when the same analysis is registered twice, mirroring
+    :attr:`MultiResult.reports`).
+    """
+
+    __slots__ = ("events_processed", "dynamic_counts", "static_counts",
+                 "failures")
+
+    def __init__(self, events_processed: int,
+                 dynamic_counts: Dict[str, int],
+                 static_counts: Dict[str, int],
+                 failures: List[AnalysisFailure]):
+        self.events_processed = events_processed
+        self.dynamic_counts = dynamic_counts
+        self.static_counts = static_counts
+        self.failures = failures
+
+    def __repr__(self) -> str:
+        return "SessionSnapshot({} events, {} dynamic races, {} failed)".format(
+            self.events_processed, sum(self.dynamic_counts.values()),
+            len(self.failures))
+
+
+class EngineSession:
+    """An incremental single-pass run: feed events in installments.
+
+    Obtained from :meth:`MultiRunner.session`.  The session owns the
+    pass-wide state the one-shot :meth:`MultiRunner.run` used to keep in
+    locals — the flat decode buffers, the shared same-epoch filter's
+    per-thread/per-variable tokens, the running event index, and the
+    live/detached bookkeeping — so an event stream can be delivered in
+    arbitrary installments (e.g. bounded windows drained from a live
+    socket) with results identical to one uninterrupted pass: chunk
+    boundaries never affect analysis state, and the filter's epoch
+    tokens survive across :meth:`feed` calls.
+
+    Lifecycle: any number of :meth:`feed` calls, then exactly one
+    :meth:`finish`.  :meth:`feed` returns the races *newly* discovered by
+    that installment (each dynamic race is returned exactly once across
+    the session) so a serving loop can emit reports the moment they
+    exist.  :meth:`snapshot` may be called at any time.  After
+    :meth:`finish` (or :meth:`close`), :meth:`feed` raises
+    :class:`RuntimeError` and the owning runner may open a new session.
+    """
+
+    def __init__(self, runner: "MultiRunner"):
+        self._runner = runner
+        self.entries = runner.entries
+        grouped = set()
+        for _, members in runner.hb_groups:
+            grouped.update(members)
+        # entries that failed in a previous session stay detached: their
+        # analyses are in an undefined mid-failure state, and a group
+        # member must not drop the bank refcount twice
+        self._live = [e for e in self.entries
+                      if e not in grouped and e.failure is None]
+        self._groups = [(bank, [m for m in members if m.failure is None])
+                        for bank, members in runner.hb_groups]
+        # The shared same-epoch filter drops accesses that are provably
+        # no-ops in *every* analysis — a repeat of the same (thread,
+        # kind, variable) access with no intervening epoch-ending event
+        # by that thread and no intervening write to the variable hits a
+        # [Same Epoch] fast path in each tier (§4.1; unopt's §5.1
+        # equivalent) — so one decode-time check replaces N dispatches.
+        # Active only when every analysis declares the fast-path
+        # semantics (SAME_EPOCH_SKIP), and disabled when footprint
+        # sampling or case counting is on: a skipped access would then
+        # miss a sample index / a same-epoch case bump.
+        self._filter_on = (runner.sample_every == 0
+                           and all(e.analysis.SAME_EPOCH_SKIP
+                                   and e.analysis.case_counts is None
+                                   for e in self.entries))
+        # per-thread tokens (epoch << TID_BITS | tid), recomputed only at
+        # epoch-ending events so the access fast path is one dict get
+        self._toks: Dict[int, int] = {}
+        self._last_r: Dict[int, int] = {}  # var -> token of its last reader
+        self._last_w: Dict[int, int] = {}  # var -> token of its last writer
+        # flat preallocated decode buffers: one int per slot, no
+        # per-event record allocation (islice in the replay loops trims
+        # to the live prefix).
+        chunk_size = runner.chunk_events
+        self._indices = [0] * chunk_size
+        self._kinds = [0] * chunk_size
+        self._tids = [0] * chunk_size
+        self._targets = [0] * chunk_size
+        self._sites = [0] * chunk_size
+        self._events_seen = 0
+        self._reported = 0  # last count handed to the progress callback
+        self._races_seen = [len(e.analysis.races) for e in self.entries]
+        self._finished = False
+
+    @property
+    def events_processed(self) -> int:
+        """Source events consumed so far (filtered accesses included)."""
+        return self._events_seen
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    # -- feeding -----------------------------------------------------------
+    def feed(self, events: Union[Trace, Iterable[Event]],
+             max_events: Optional[int] = None) -> List[tuple]:
+        """Consume one installment of the stream; return its new races.
+
+        ``events`` may be a :class:`Trace`, any iterable, or a live
+        iterator shared across calls — the installment ends when the
+        iterable is exhausted or, with ``max_events``, after that many
+        events (pass the *same* iterator again to continue; an exhausted
+        iterator makes ``feed`` a no-op, which is the caller's EOF
+        signal via an unchanged :attr:`events_processed`).
+
+        Returns the races discovered by this installment as
+        ``(analysis_name, RaceRecord)`` pairs ordered by event index
+        (ties keep registration order); across a session every dynamic
+        race is returned exactly once.  An analysis whose handler raises
+        is detached exactly as in :meth:`MultiRunner.run`; errors raised
+        by the *source* iterator propagate with all session state intact,
+        so a caller may still :meth:`snapshot` or :meth:`finish` after a
+        malformed or timed-out live feed.
+        """
+        if self._finished:
+            raise RuntimeError(
+                "engine session is finished; open a new session to feed "
+                "more events")
+        if isinstance(events, Trace):
+            events = events.events
+        source = iter(events)
+        if max_events is not None:
+            source = islice(source, max_events)
+        runner = self._runner
+        live = self._live
+        groups = self._groups
+        progress = runner.progress
+        chunk_size = runner.chunk_events
+        filter_on = self._filter_on
+        epoch_enders = _EPOCH_ENDERS
+        toks = self._toks
+        last_r = self._last_r
+        last_w = self._last_w
+        toks_get = toks.get
+        last_r_get = last_r.get
+        last_w_get = last_w.get
+        indices = self._indices
+        kinds = self._kinds
+        tids = self._tids
+        targets = self._targets
+        sites = self._sites
+        i = self._events_seen - 1
+        exhausted = False
+        # Batch-pass GC hygiene: with N analyses' metadata live at once,
+        # every cyclic collection during the pass scans ~N times the
+        # objects a solo run would, for data that is refcount-managed
+        # anyway (the clocks and metadata maps are acyclic).  Suspend
+        # cyclic GC for the installment and restore the caller's setting.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while not exhausted:
+                n = 0
+                source_error: Optional[BaseException] = None
+                try:
+                    if filter_on:
+                        for e in source:
+                            i += 1
+                            k = e.kind
+                            t = e.tid
+                            x = e.target
+                            if k <= 1:  # READ/WRITE: shared same-epoch filter
+                                tok = toks_get(t, t)
+                                if k == 0:
+                                    if last_r_get(x) == tok:
+                                        continue  # no-op in every analysis
+                                    last_r[x] = tok
+                                else:
+                                    if last_w_get(x) == tok:
+                                        continue  # no-op in every analysis
+                                    last_w[x] = tok
+                                    # a write ends every reader's
+                                    # same-epoch run
+                                    if x in last_r:
+                                        del last_r[x]
+                            elif epoch_enders[k]:
+                                toks[t] = toks_get(t, t) + (1 << TID_BITS)
+                            indices[n] = i
+                            kinds[n] = k
+                            tids[n] = t
+                            targets[n] = x
+                            sites[n] = e.site
+                            n += 1
+                            if n == chunk_size:
+                                break
+                        else:
+                            exhausted = True
+                    else:
+                        for e in source:
+                            i += 1
+                            indices[n] = i
+                            kinds[n] = e.kind
+                            tids[n] = e.tid
+                            targets[n] = e.target
+                            sites[n] = e.site
+                            n += 1
+                            if n == chunk_size:
+                                break
+                        else:
+                            exhausted = True
+                except BaseException as exc:
+                    # a failing source (malformed live feed, read timeout)
+                    # must not drop the events already decoded into the
+                    # chunk: replay them below, then re-raise — so every
+                    # event counted in events_processed reached the
+                    # analyses and a caller may resume or finish()
+                    source_error = exc
+                if n == 0 and source_error is None:
+                    break
+                if n:
+                    for entry in list(live):
+                        try:
+                            runner._replay(entry, indices, kinds, tids,
+                                           targets, sites, n)
+                        except Exception as exc:  # detach this analysis
+                            entry.failure = AnalysisFailure(
+                                entry.name, runner._failure_index(exc), exc)
+                            live.remove(entry)
+                    for bank, members in groups:
+                        if members:
+                            runner._replay_group(bank, members, indices,
+                                                 kinds, tids, targets,
+                                                 sites, n)
+                    if progress is not None:
+                        progress(i + 1)
+                        self._reported = i + 1
+                if source_error is not None:
+                    raise source_error
+        finally:
+            # write-back even when the source iterator raises (live feeds
+            # surface TraceFormatError/TimeoutError here): the session
+            # stays consistent and can still be snapshotted or finished
+            self._events_seen = i + 1
+            if gc_was_enabled:
+                gc.enable()
+        return self.pending_races()
+
+    def drain(self, events: Union[Trace, Iterable[Event]],
+              window: int = 4096) -> Iterator[tuple]:
+        """Feed ``events`` to exhaustion in bounded windows, yielding
+        each ``(analysis_name, RaceRecord)`` pair as it is discovered.
+
+        This is the canonical serving loop — it owns the EOF
+        convention (a window that advances :attr:`events_processed` by
+        nothing means the iterator is exhausted), so callers do not
+        re-implement it.  When the *source* raises mid-installment, the
+        races that installment's partial chunk did discover are yielded
+        first and then the error propagates (session still usable) — a
+        live consumer never loses a race that was found before the feed
+        died.  Drive :meth:`feed` directly only when per-window work is
+        needed (progress sampling, adaptive window sizes).
+        """
+        source = iter(events.events if isinstance(events, Trace)
+                      else events)
+        while True:
+            seen = self._events_seen
+            try:
+                races = self.feed(source, max_events=window)
+            except BaseException:
+                for pair in self.pending_races():
+                    yield pair
+                raise
+            for pair in races:
+                yield pair
+            if self._events_seen == seen:
+                return
+
+    def pending_races(self) -> List[tuple]:
+        """Races discovered since the last :meth:`feed` (or call of this
+        method) that have not been handed out yet, as ``(analysis_name,
+        RaceRecord)`` pairs ordered by event index.
+
+        Normally empty — :meth:`feed` drains them on return — but after
+        a feed that *raised*, the partial chunk it replayed may have
+        discovered races the exception swallowed; :meth:`drain` yields
+        them before propagating, and direct ``feed`` callers can do the
+        same with this method.
+        """
+        out: List[tuple] = []
+        seen = self._races_seen
+        for idx, entry in enumerate(self.entries):
+            races = entry.analysis.races
+            if len(races) > seen[idx]:
+                name = entry.name
+                out.extend((name, race) for race in races[seen[idx]:])
+                seen[idx] = len(races)
+        if len(out) > 1:
+            out.sort(key=lambda pair: pair[1].index)
+        return out
+
+    # -- observing ---------------------------------------------------------
+    def snapshot(self) -> SessionSnapshot:
+        """The session's progress so far (see :class:`SessionSnapshot`)."""
+        dynamic: Dict[str, int] = {}
+        static: Dict[str, int] = {}
+        for entry in self.entries:
+            if entry.failure is None and entry.name not in dynamic:
+                races = entry.analysis.races
+                dynamic[entry.name] = len(races)
+                static[entry.name] = len({r.site for r in races})
+        return SessionSnapshot(
+            self._events_seen, dynamic, static,
+            [e.failure for e in self.entries if e.failure is not None])
+
+    # -- sealing -----------------------------------------------------------
+    def finish(self) -> MultiResult:
+        """Seal the pass: final progress/footprint samples, reports built.
+
+        Returns the same :class:`MultiResult` one uninterrupted
+        :meth:`MultiRunner.run` over the concatenated installments would
+        have produced.  The session is unusable afterwards; the owning
+        runner may open a new one.
+        """
+        if self._finished:
+            raise RuntimeError("engine session is already finished")
+        self._finished = True
+        self._runner._session_open = False
+        events_processed = self._events_seen
+        # a trailing residue dropped entirely by the same-epoch filter
+        # produces no final chunk; progress must still reach the total
+        progress = self._runner.progress
+        if progress is not None and events_processed > self._reported:
+            progress(events_processed)
+            self._reported = events_processed
+        for entry in self.entries:
+            if entry.failure is None:
+                entry.report = entry.analysis.finish(
+                    events_processed, entry.peak)
+        return MultiResult(self.entries, events_processed)
+
+    def close(self) -> None:
+        """Abandon the session without building reports (the analyses
+        keep their mid-stream state; a later session sees it)."""
+        self._finished = True
+        self._runner._session_open = False
+
+
 class MultiRunner:
     """Drive N analyses over one iteration of an event stream.
 
@@ -217,6 +593,7 @@ class MultiRunner:
         self.hb_groups: List[tuple] = []
         self._share_hb = share_hb
         self._groups_formed = False
+        self._session_open = False
 
     # -- shared-HB group formation ----------------------------------------
     def _form_hb_groups(self) -> None:
@@ -426,6 +803,28 @@ class MultiRunner:
         return -1
 
     # -- driving -----------------------------------------------------------
+    def session(self) -> EngineSession:
+        """Open an incremental session over these analyses.
+
+        The session accepts the event stream in arbitrary installments
+        (:meth:`EngineSession.feed`), reports new races per installment,
+        and is sealed with :meth:`EngineSession.finish` — see
+        :class:`EngineSession`.  Only one session may be open at a time
+        (the analyses' mutable state is shared); :meth:`finish` (or
+        :meth:`EngineSession.close`) releases the runner for the next
+        one.  Shared-HB groups are formed on the first session, exactly
+        as the one-shot :meth:`run` forms them.
+        """
+        if self._session_open:
+            raise RuntimeError(
+                "another engine session over these analyses is still "
+                "open; finish() or close() it first")
+        if self._share_hb and not self._groups_formed:
+            self._form_hb_groups()
+        self._groups_formed = True
+        self._session_open = True
+        return EngineSession(self)
+
     def run(self, events: Union[Trace, Iterable[Event]]) -> MultiResult:
         """Feed one iteration of ``events`` to every analysis.
 
@@ -433,144 +832,18 @@ class MultiRunner:
         including a one-shot generator; the engine never rewinds it.  An
         analysis whose handler raises is detached (its
         :class:`AnalysisFailure` records the event index); the others are
-        unaffected.
+        unaffected.  Equivalent to one-installment use of
+        :meth:`session`.
         """
-        if isinstance(events, Trace):
-            events = events.events
-        if self._share_hb and not self._groups_formed:
-            self._form_hb_groups()
-        self._groups_formed = True
-        grouped = set()
-        for _, members in self.hb_groups:
-            grouped.update(members)
-        # entries that failed in a previous run() stay detached: their
-        # analyses are in an undefined mid-failure state, and a group
-        # member must not drop the bank refcount twice
-        live = [e for e in self.entries
-                if e not in grouped and e.failure is None]
-        groups = [(bank, [m for m in members if m.failure is None])
-                  for bank, members in self.hb_groups]
-        chunk_size = self.chunk_events
-        progress = self.progress
-        source = iter(events)
-        # The shared same-epoch filter drops accesses that are provably
-        # no-ops in *every* analysis — a repeat of the same (thread, kind,
-        # variable) access with no intervening epoch-ending event by that
-        # thread and no intervening write to the variable hits a [Same
-        # Epoch] fast path in each tier (§4.1; unopt's §5.1 equivalent) —
-        # so one decode-time check replaces N dispatches.  Active only
-        # when every analysis declares the fast-path semantics
-        # (SAME_EPOCH_SKIP), and disabled when footprint sampling or
-        # case counting is on: a skipped access would then miss a sample
-        # index / a same-epoch case bump.
-        filter_on = (self.sample_every == 0
-                     and all(e.analysis.SAME_EPOCH_SKIP
-                             and e.analysis.case_counts is None
-                             for e in self.entries))
-        epoch_enders = _EPOCH_ENDERS
-        # per-thread tokens (epoch << TID_BITS | tid), recomputed only at
-        # epoch-ending events so the access fast path is one dict get
-        toks: Dict[int, int] = {}
-        last_r: Dict[int, int] = {}  # var -> token of its last reader
-        last_w: Dict[int, int] = {}  # var -> token of its last writer
-        toks_get = toks.get
-        last_r_get = last_r.get
-        last_w_get = last_w.get
-        # flat preallocated decode buffers: one int per slot, no per-event
-        # record allocation (islice in the replay loops trims to n).
-        indices = [0] * chunk_size
-        kinds = [0] * chunk_size
-        tids = [0] * chunk_size
-        targets = [0] * chunk_size
-        sites = [0] * chunk_size
-        i = -1
-        reported = 0  # last event count handed to the progress callback
-        exhausted = False
-        # Batch-pass GC hygiene: with N analyses' metadata live at once,
-        # every cyclic collection during the pass scans ~N times the
-        # objects a solo run would, for data that is refcount-managed
-        # anyway (the clocks and metadata maps are acyclic).  Suspend
-        # cyclic GC for the pass and restore the caller's setting after.
-        gc_was_enabled = gc.isenabled()
-        if gc_was_enabled:
-            gc.disable()
+        session = self.session()
         try:
-            while not exhausted:
-                n = 0
-                if filter_on:
-                    for e in source:
-                        i += 1
-                        k = e.kind
-                        t = e.tid
-                        x = e.target
-                        if k <= 1:  # READ/WRITE: shared same-epoch filter
-                            tok = toks_get(t, t)
-                            if k == 0:
-                                if last_r_get(x) == tok:
-                                    continue  # no-op in every analysis
-                                last_r[x] = tok
-                            else:
-                                if last_w_get(x) == tok:
-                                    continue  # no-op in every analysis
-                                last_w[x] = tok
-                                # a write ends every reader's same-epoch run
-                                if x in last_r:
-                                    del last_r[x]
-                        elif epoch_enders[k]:
-                            toks[t] = toks_get(t, t) + (1 << TID_BITS)
-                        indices[n] = i
-                        kinds[n] = k
-                        tids[n] = t
-                        targets[n] = x
-                        sites[n] = e.site
-                        n += 1
-                        if n == chunk_size:
-                            break
-                    else:
-                        exhausted = True
-                else:
-                    for e in source:
-                        i += 1
-                        indices[n] = i
-                        kinds[n] = e.kind
-                        tids[n] = e.tid
-                        targets[n] = e.target
-                        sites[n] = e.site
-                        n += 1
-                        if n == chunk_size:
-                            break
-                    else:
-                        exhausted = True
-                if n == 0:
-                    break
-                for entry in list(live):
-                    try:
-                        self._replay(entry, indices, kinds, tids, targets,
-                                     sites, n)
-                    except Exception as exc:  # isolate: detach this analysis
-                        entry.failure = AnalysisFailure(
-                            entry.name, self._failure_index(exc), exc)
-                        live.remove(entry)
-                for bank, members in groups:
-                    if members:
-                        self._replay_group(bank, members, indices, kinds, tids,
-                                           targets, sites, n)
-                if progress is not None:
-                    progress(i + 1)
-                    reported = i + 1
-        finally:
-            if gc_was_enabled:
-                gc.enable()
-        events_processed = i + 1
-        # a trailing residue dropped entirely by the same-epoch filter
-        # produces no final chunk; progress must still reach the total
-        if progress is not None and events_processed > reported:
-            progress(events_processed)
-        for entry in self.entries:
-            if entry.failure is None:
-                entry.report = entry.analysis.finish(
-                    events_processed, entry.peak)
-        return MultiResult(self.entries, events_processed)
+            session.feed(events)
+        except BaseException:
+            # a failed *source* (not analysis) aborts the pass with no
+            # reports, as it always did; release the runner for a retry
+            session.close()
+            raise
+        return session.finish()
 
 
 def run_analyses(trace: Union[Trace, TraceInfo], names: Sequence[str],
@@ -596,7 +869,8 @@ def run_analyses(trace: Union[Trace, TraceInfo], names: Sequence[str],
 
 
 def run_stream(source, names: Sequence[str], sample_every: int = 0,
-               progress: Optional[Callable[[int], None]] = None) -> MultiResult:
+               progress: Optional[Callable[[int], None]] = None,
+               window_events: int = 0) -> MultiResult:
     """Analyze a trace file (or open handle) in one streaming pass.
 
     The trace — v1 text or v2 binary, autodetected from the leading
@@ -605,10 +879,23 @@ def run_stream(source, names: Sequence[str], sample_every: int = 0,
     ``# repro trace v1`` header or the always-present v2 binary header,
     both written by :func:`repro.trace.format.dump_trace`);
     :class:`repro.trace.format.TraceFormatError` is raised otherwise.
+
+    ``window_events`` > 0 drains the stream through an incremental
+    session in bounded windows — exactly how a live ``repro serve``
+    loop consumes a socket — instead of one uninterrupted feed.
+    Reports are identical either way; the knob exists to measure the
+    online path against the one-shot pass on the same capture.
     """
     from repro.trace.format import stream_trace
 
     stream = stream_trace(source)
     info = stream.require_info()
+    if window_events > 0:
+        runner = MultiRunner([create(name, info) for name in names],
+                             sample_every=sample_every, progress=progress)
+        session = runner.session()
+        for _ in session.drain(stream, window=window_events):
+            pass
+        return session.finish()
     return run_analyses(info, names, events=stream,
                         sample_every=sample_every, progress=progress)

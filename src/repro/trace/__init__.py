@@ -39,6 +39,14 @@ from repro.trace.format import (
     loads_trace,
     stream_trace,
 )
+from repro.trace.live import (
+    PipeTraceSource,
+    SocketTraceSource,
+    TraceListener,
+    open_live_source,
+    send_events,
+    send_trace,
+)
 from repro.trace.stream import TraceStreamBase
 from repro.trace.trace import Trace, TraceInfo, WellFormednessError
 
@@ -50,14 +58,17 @@ __all__ = [
     "FORK",
     "JOIN",
     "KIND_NAMES",
+    "PipeTraceSource",
     "READ",
     "RELEASE",
     "STATIC_ACCESS",
     "STATIC_INIT",
+    "SocketTraceSource",
     "Trace",
     "TraceBuilder",
     "TraceFormatError",
     "TraceInfo",
+    "TraceListener",
     "TraceStream",
     "TraceStreamBase",
     "VOLATILE_READ",
@@ -73,5 +84,8 @@ __all__ = [
     "is_write",
     "load_trace",
     "loads_trace",
+    "open_live_source",
+    "send_events",
+    "send_trace",
     "stream_trace",
 ]

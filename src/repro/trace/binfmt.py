@@ -50,10 +50,13 @@ from repro.trace.trace import Trace, TraceInfo
 MAGIC = b"# repro trace v2\n"
 
 _NUM_KINDS = len(KIND_NAMES)
-#: Upper bound on one encoded event (3 varints of <= 10 bytes each);
-#: the reader refills its buffer whenever fewer bytes remain, so the
-#: decode fast path never has to bounds-check mid-event.
+#: Upper bound on one encoded event (3 varints of <= 10 bytes each).
+#: The reader decodes whatever is buffered and treats an event that is
+#: still incomplete after this many bytes as malformed (endless varint
+#: continuation bits), bounding memory on adversarial input.
 _MAX_EVENT_BYTES = 32
+#: Varints cap at 10 bytes (LEB128 for a 64-bit value: 9 x 7 + 1 bits).
+_MAX_VARINT_SHIFT = 63
 _READ_SIZE = 1 << 16
 _FLUSH_BYTES = 1 << 16
 
@@ -63,22 +66,6 @@ def _append_varint(buf: bytearray, value: int) -> None:
         buf.append((value & 0x7F) | 0x80)
         value >>= 7
     buf.append(value)
-
-
-def _decode_varint(data: bytes, pos: int, what: str) -> "tuple[int, int]":
-    """Decode one varint at ``pos``; TraceFormatError on truncation."""
-    value = 0
-    shift = 0
-    while True:
-        if pos >= len(data):
-            raise TraceFormatError(
-                "binary trace truncated in {}".format(what))
-        b = data[pos]
-        pos += 1
-        if b < 0x80:
-            return value | (b << shift), pos
-        value |= (b & 0x7F) << shift
-        shift += 7
 
 
 class BinaryTraceWriter:
@@ -172,17 +159,27 @@ class BinaryTraceStream(TraceStreamBase):
         super().__init__(source, owns_fp)
 
     def _read_header(self) -> None:
-        # Magic + 6 varints of at most 10 bytes each; a short read just
-        # means the whole trace is tiny (or truncated — detected below).
-        need = len(MAGIC) + 6 * 10
+        # Parse incrementally, never requesting bytes beyond the header
+        # itself: live sources (sockets, FIFOs) deliver the header the
+        # moment the producer wrote it, and an over-sized probe would
+        # stall a short live feed waiting for event bytes that may be
+        # minutes away.  A one-byte-at-a-time tail costs nothing here
+        # (the header is parsed once; events use the buffered fast path).
         data = self._prefix
         self._prefix = b""
-        while len(data) < need:
-            chunk = self._fp.read(need - len(data))
-            if not chunk:
-                break
-            data += chunk
-        if data[:len(MAGIC)] != MAGIC:
+        read = self._fp.read
+
+        def ensure(k: int) -> bool:
+            """Grow ``data`` to >= k bytes; False at end of input."""
+            nonlocal data
+            while len(data) < k:
+                chunk = read(k - len(data))
+                if not chunk:
+                    return False
+                data += chunk
+            return True
+
+        if not ensure(len(MAGIC)) or data[:len(MAGIC)] != MAGIC:
             raise TraceFormatError(
                 "not a v2 binary trace: bad or truncated magic "
                 "(expected {!r})".format(MAGIC))
@@ -190,8 +187,26 @@ class BinaryTraceStream(TraceStreamBase):
         dims = []
         for name in ("threads", "locks", "vars", "volatiles", "classes",
                      "events"):
-            value, pos = _decode_varint(data, pos,
-                                        "header ({} field)".format(name))
+            value = 0
+            shift = 0
+            while True:
+                if pos >= len(data) and not ensure(pos + 1):
+                    raise TraceFormatError(
+                        "binary trace truncated in header "
+                        "({} field)".format(name))
+                b = data[pos]
+                pos += 1
+                if b < 0x80:
+                    value |= b << shift
+                    break
+                value |= (b & 0x7F) << shift
+                shift += 7
+                if shift > _MAX_VARINT_SHIFT:
+                    # endless continuation bits: reject instead of
+                    # accumulating an unbounded int from a live feed
+                    raise TraceFormatError(
+                        "oversized varint in header ({} field)".format(
+                            name))
             dims.append(value)
         self.info = TraceInfo(*dims)
         self._buffered = data[pos:]
@@ -204,24 +219,28 @@ class BinaryTraceStream(TraceStreamBase):
         pos = 0
         n = len(data)
         count = 0
+        eof = False
         Event_ = Event
         try:
             while True:
-                if n - pos < _MAX_EVENT_BYTES:
-                    data = data[pos:]
-                    pos = 0
-                    while len(data) < _MAX_EVENT_BYTES:
-                        tail = read(_READ_SIZE)
-                        if not tail:
-                            break
-                        data += tail
-                    n = len(data)
+                if pos >= n:
+                    # buffer exhausted: one read of whatever is
+                    # available (live sources return partial data — the
+                    # incomplete-event case is handled below, so this
+                    # never waits for bytes while decodable events sit
+                    # in the buffer)
                     self.events_read = count
-                    if n == 0:
+                    if eof:
                         return
-                # Decode three varints inline; the IndexError guard only
-                # ever fires at true end-of-file (the refill above
-                # guarantees a full event's worth of bytes otherwise).
+                    data = read(_READ_SIZE)
+                    if not data:
+                        return
+                    pos = 0
+                    n = len(data)
+                # Decode three varints inline; an IndexError means the
+                # buffer ends inside an event — incomplete (wait for
+                # more bytes) or, at end of input, truncated.
+                start = pos
                 try:
                     b = data[pos]
                     pos += 1
@@ -269,9 +288,27 @@ class BinaryTraceStream(TraceStreamBase):
                             site |= (b & 0x7F) << shift
                             shift += 7
                 except IndexError:
-                    raise TraceFormatError(
-                        "binary trace truncated mid-event after {} "
-                        "events".format(count)) from None
+                    self.events_read = count
+                    if eof:
+                        raise TraceFormatError(
+                            "binary trace truncated mid-event after {} "
+                            "events".format(count)) from None
+                    if n - start >= _MAX_EVENT_BYTES:
+                        # a complete event is at most 3 x 10-byte
+                        # varints; endless continuation bits are
+                        # malformed, not merely still in flight
+                        raise TraceFormatError(
+                            "oversized varint at event {}".format(
+                                count)) from None
+                    # incomplete event at the buffer's end: keep its
+                    # prefix, wait for more bytes, retry the decode
+                    tail = read(_READ_SIZE)
+                    if not tail:
+                        eof = True
+                    data = data[start:] + tail
+                    pos = 0
+                    n = len(data)
+                    continue
                 kind = head & 0xF
                 if kind >= _NUM_KINDS:
                     raise TraceFormatError(

@@ -1,0 +1,515 @@
+"""Live trace sources: analyze an execution *while it runs*.
+
+SmartTrack's pitch is predictive detection cheap enough to stay on
+during execution (paper §1); the offline readers already never rewind,
+so the only missing piece for online analysis is a source whose bytes
+arrive as the monitored program produces them.  This module provides
+two:
+
+* :class:`SocketTraceSource` — one accepted connection on a Unix or TCP
+  endpoint.  The server side (``repro serve``) binds and waits via
+  :class:`TraceListener`; the producer side connects and streams a trace
+  with :func:`send_trace` (or ``repro generate --to-socket``).
+* :class:`PipeTraceSource` — a FIFO path, an inherited file descriptor,
+  or an open pipe handle.
+
+Both speak the same wire formats as the offline readers — the v1 text
+format and the v2 binary format, autodetected from the leading bytes by
+:func:`repro.trace.format.stream_trace` — and subclass
+:class:`~repro.trace.stream.TraceStreamBase`, so everything downstream
+(the engine, :class:`~repro.core.engine.EngineSession`, the CLI) treats
+a live feed exactly like a file.  What differs is the byte transport:
+
+* **partial reads are the normal case** — the sources hand the format
+  readers a *raw* unbuffered reader whose ``read(n)`` returns whatever
+  one ``recv``/``read`` syscall produced (the readers' refill loops
+  already tolerate short reads); a buffered layer would block a live
+  text feed until its buffer filled, stalling reports;
+* **timeouts** — a ``timeout`` makes a stalled producer raise
+  :class:`TimeoutError` (``socket.timeout`` is the same type on
+  Python >= 3.10) instead of hanging the analysis forever; the CLI maps
+  it to exit code 2 like any other unreadable trace;
+* **reconnect refusal** — a listener serves exactly one connection per
+  analysis session: the listening socket closes the moment a producer is
+  accepted, so a second connect is refused (``ECONNREFUSED``) rather
+  than silently queued behind a stream it could never join;
+* **clean EOF** — a producer closing its end (or finishing its trace)
+  ends iteration exactly like end-of-file; a connection dropped
+  mid-event surfaces as the same
+  :class:`~repro.trace.stream.TraceFormatError` a truncated file would.
+
+Failing mid-iteration (malformed bytes, disconnect, timeout) never leaks
+a descriptor: the shared stream lifecycle closes the source, and the
+live sources extend :meth:`~repro.trace.stream.TraceStreamBase.close` to
+also close the accepted socket and unlink a Unix endpoint they bound.
+"""
+
+from __future__ import annotations
+
+import errno
+import io
+import os
+import select
+import socket
+import stat
+import time
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.trace.event import Event
+from repro.trace.stream import TraceStreamBase
+from repro.trace.trace import Trace, TraceInfo
+
+__all__ = [
+    "PipeTraceSource",
+    "SocketTraceSource",
+    "TraceListener",
+    "connect_endpoint",
+    "open_live_source",
+    "parse_endpoint",
+    "send_events",
+    "send_trace",
+]
+
+
+def parse_endpoint(spec: str) -> Tuple[str, Union[str, Tuple[str, int]]]:
+    """Classify an endpoint spec: ``("tcp", (host, port))`` or
+    ``("unix", path)``.
+
+    ``HOST:PORT`` (a numeric final component with no ``/`` in the host
+    part) is TCP; anything else is a Unix socket path, so relative and
+    absolute paths — even ones containing ``:`` in a directory name —
+    keep working.
+    """
+    host, sep, port = spec.rpartition(":")
+    if sep and host and port.isdigit() and "/" not in host:
+        return "tcp", (host, int(port))
+    return "unix", spec
+
+
+class _TimeoutRawReader(io.RawIOBase):
+    """Raw adapter adding a per-read timeout (via ``select``) to a pipe.
+
+    Sockets get timeouts natively (``settimeout``); pipes and FIFOs do
+    not, so reads go through one ``select`` first.  ``readinto`` keeps
+    single-syscall partial-read semantics.
+    """
+
+    def __init__(self, raw, timeout: float):
+        self._raw = raw
+        self._timeout = timeout
+
+    def readable(self) -> bool:
+        return True
+
+    def fileno(self) -> int:
+        return self._raw.fileno()
+
+    def readinto(self, b) -> int:
+        ready, _, _ = select.select([self._raw.fileno()], [], [],
+                                    self._timeout)
+        if not ready:
+            raise TimeoutError(
+                "live trace source: no data for {:.3g}s".format(
+                    self._timeout))
+        return self._raw.readinto(b)
+
+    def close(self) -> None:
+        if not self.closed:
+            self._raw.close()
+        super().close()
+
+
+def _is_fifo(path: str) -> bool:
+    try:
+        return stat.S_ISFIFO(os.stat(path).st_mode)
+    except OSError:
+        return False
+
+
+def _open_fifo_nonblocking(path: str):
+    """Open a FIFO for reading without waiting for a producer.
+
+    A plain blocking ``open`` waits until a producer opens the write
+    end — outside any read timeout's reach — so the FIFO is opened
+    ``O_NONBLOCK`` (which succeeds immediately) and switched back to
+    blocking mode.  The per-read ``select`` of
+    :class:`_TimeoutRawReader` then bounds *everything*: a FIFO with no
+    producer (or a silent one) is simply never readable, so the very
+    first header read raises :class:`TimeoutError` on schedule.
+    """
+    fd = os.open(path, os.O_RDONLY | os.O_NONBLOCK)
+    try:
+        os.set_blocking(fd, True)
+    except BaseException:
+        os.close(fd)
+        raise
+    return os.fdopen(fd, "rb", buffering=0)
+
+
+class LiveTraceSource(TraceStreamBase):
+    """Common live-source behaviour: wrap a raw byte feed, autodetect
+    the wire format, and mirror the inner reader's event stream.
+
+    ``raw`` must be an *unbuffered* binary reader (partial reads are how
+    liveness is preserved — see the module docstring); the source owns
+    and closes it.
+    """
+
+    def __init__(self, raw):
+        super().__init__(raw, owns_fp=True)
+
+    def _read_header(self) -> None:
+        from repro.trace.format import stream_trace
+
+        # Autodetection sniffs the leading bytes (blocking until the
+        # producer has sent them) and picks the text or binary reader;
+        # partial reads and header parsing are handled there.
+        self._inner = stream_trace(self._fp)
+        self.info = self._inner.info
+
+    def _events(self) -> Iterator[Event]:
+        for event in self._inner:
+            self.events_read += 1
+            yield event
+
+
+class PipeTraceSource(LiveTraceSource):
+    """Live events from a FIFO path, a readable fd, or an open pipe.
+
+    ``source`` is one of:
+
+    * a path — typically a FIFO made with ``os.mkfifo``; opening blocks
+      until a producer opens the other end (POSIX FIFO semantics),
+    * an integer file descriptor (ownership is taken), or
+    * an open binary file object (ownership is taken; it should be
+      unbuffered, e.g. ``open(path, "rb", buffering=0)``).
+
+    ``timeout`` bounds every read: a producer that connects but stops
+    writing raises :class:`TimeoutError` instead of stalling the
+    analysis (the descriptor is closed either way).
+    """
+
+    def __init__(self, source: Union[str, int, io.RawIOBase],
+                 timeout: Optional[float] = None):
+        if isinstance(source, str):
+            if timeout is not None and _is_fifo(source):
+                # with a timeout, even the wait for a producer to open
+                # the write end must be bounded
+                raw = _open_fifo_nonblocking(source)
+            else:
+                raw = open(source, "rb", buffering=0)
+        elif isinstance(source, int):
+            raw = os.fdopen(source, "rb", buffering=0)
+        else:
+            raw = source
+        if timeout is not None:
+            raw = _TimeoutRawReader(raw, timeout)
+        super().__init__(raw)
+
+
+class SocketTraceSource(LiveTraceSource):
+    """Live events from one accepted socket connection.
+
+    Constructed by :meth:`TraceListener.accept` (or the
+    :func:`open_live_source` convenience) with an already-connected
+    socket; the source owns the connection and, for a Unix endpoint it
+    served, unlinks the socket path on close.
+    """
+
+    def __init__(self, conn: socket.socket, timeout: Optional[float] = None,
+                 _unlink_path: Optional[str] = None,
+                 _lock_fd: Optional[int] = None):
+        # close() must be safe before base init completes (header
+        # parsing can fail or time out): record resources first
+        self._conn: Optional[socket.socket] = conn
+        self._unlink_path = _unlink_path
+        self._lock_fd = _lock_fd
+        self._owns_fp = False
+        try:
+            conn.settimeout(timeout)
+            # buffering=0 gives the raw SocketIO: read(n) is one recv,
+            # so partial packets flow through immediately
+            raw = conn.makefile("rb", buffering=0)
+            super().__init__(raw)
+        except BaseException:
+            self.close()
+            raise
+
+    def close(self) -> None:
+        if getattr(self, "_fp", None) is not None:
+            super().close()
+        conn, self._conn = self._conn, None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        path, self._unlink_path = self._unlink_path, None
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        lock_fd, self._lock_fd = self._lock_fd, None
+        if lock_fd is not None:
+            os.close(lock_fd)
+
+
+def _acquire_endpoint_lock(path: str) -> int:
+    """Take the advisory lock guarding a Unix endpoint; returns the fd.
+
+    The lock (``flock`` on a ``<path>.lock`` sidecar) is how a new
+    server distinguishes a *stale* socket file — the leftover of a
+    server that died without cleanup, whose lock the kernel released —
+    from a *live* one.  A connect-probe cannot make that distinction
+    safely: the probe would be accepted by a healthy waiting server as
+    its one allowed producer, killing its session.  The sidecar file is
+    deliberately never unlinked (removing a lock file while another
+    process holds its inode reopens the classic double-lock race); it
+    is a zero-byte marker.
+
+    Raises ``OSError(EADDRINUSE)`` when a live server holds the lock.
+    """
+    import fcntl
+
+    fd = os.open(path + ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+    except OSError:
+        os.close(fd)
+        raise OSError(
+            errno.EADDRINUSE,
+            "endpoint {} is in use by a live server".format(path))
+    return fd
+
+
+class TraceListener:
+    """A bound, listening endpoint awaiting exactly one trace producer.
+
+    Splitting bind from accept lets a server publish its address before
+    blocking (``repro serve`` prints it; tests bind TCP port 0 and read
+    the real port back), and :meth:`accept` then enforces the
+    one-producer contract: the listening socket closes as soon as the
+    connection lands, so any later connect is refused instead of queued.
+    """
+
+    def __init__(self, spec: str, backlog: int = 1):
+        self.kind, addr = parse_endpoint(spec)
+        self._unlink_path: Optional[str] = None
+        self._lock_fd: Optional[int] = None
+        if self.kind == "unix":
+            sock = socket.socket(socket.AF_UNIX)
+        else:
+            sock = socket.socket(socket.AF_INET)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            if self.kind == "unix":
+                # holding the endpoint lock proves no live server owns
+                # this path, so an existing socket file is the leftover
+                # of a crashed server (SIGKILL before cleanup releases
+                # the flock) and is safe to reclaim
+                self._lock_fd = _acquire_endpoint_lock(addr)
+                try:
+                    sock.bind(addr)
+                except OSError as exc:
+                    if exc.errno != errno.EADDRINUSE:
+                        raise
+                    # reclaim is for leftover *sockets* only — a
+                    # regular file at the endpoint path (a typo'd
+                    # `repro serve ./notes.txt`) must never be deleted
+                    if not stat.S_ISSOCK(os.stat(addr).st_mode):
+                        raise OSError(
+                            errno.EADDRINUSE,
+                            "endpoint {} exists and is not a socket; "
+                            "refusing to replace it".format(addr))
+                    os.unlink(addr)
+                    sock.bind(addr)
+                self._unlink_path = addr
+            else:
+                sock.bind(addr)
+            sock.listen(backlog)
+        except BaseException:
+            sock.close()
+            self._release_lock()
+            raise
+        self._sock: Optional[socket.socket] = sock
+        # captured at bind time: valid for the listener's whole life,
+        # including after accept() hands the endpoint to the source
+        self._address = addr if self.kind == "unix" \
+            else sock.getsockname()[:2]
+
+    def _release_lock(self) -> None:
+        fd, self._lock_fd = self._lock_fd, None
+        if fd is not None:
+            os.close(fd)
+
+    @property
+    def address(self) -> Union[str, Tuple[str, int]]:
+        """The bound address: the path for Unix, ``(host, port)`` for TCP
+        (with the kernel-assigned port when 0 was requested).  Stays
+        valid after :meth:`accept`."""
+        return self._address
+
+    def describe(self) -> str:
+        addr = self.address
+        if isinstance(addr, str):
+            return addr
+        return "{}:{}".format(*addr)
+
+    def accept(self, timeout: Optional[float] = None) -> SocketTraceSource:
+        """Block until one producer connects; return the live source.
+
+        ``timeout`` bounds both the wait for the connection and every
+        subsequent read (:class:`TimeoutError` on expiry).  Whatever
+        happens, the listening socket is closed before this returns —
+        on success the accepted connection is the only way in, and the
+        endpoint's Unix path (if any) is unlinked once the *source*
+        closes.
+        """
+        sock = self._sock
+        if sock is None:
+            raise RuntimeError("listener already accepted or closed")
+        path = self._unlink_path
+        try:
+            sock.settimeout(timeout)
+            conn, _ = sock.accept()
+        except BaseException:
+            self.close()
+            raise
+        # reconnect refusal: stop listening the moment we have a feed.
+        # The endpoint lock moves to the source, so the path stays
+        # claimed until the session's cleanup unlinks it.
+        self._sock = None
+        self._unlink_path = None
+        lock_fd, self._lock_fd = self._lock_fd, None
+        sock.close()
+        return SocketTraceSource(conn, timeout=timeout, _unlink_path=path,
+                                 _lock_fd=lock_fd)
+
+    def close(self) -> None:
+        sock, self._sock = self._sock, None
+        if sock is not None:
+            sock.close()
+        path, self._unlink_path = self._unlink_path, None
+        if path is not None:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        self._release_lock()
+
+    def __enter__(self) -> "TraceListener":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def open_live_source(spec: str,
+                     timeout: Optional[float] = None) -> SocketTraceSource:
+    """Bind ``spec``, wait for one producer, return the connected source
+    (the one-call form of ``TraceListener(spec).accept(timeout)``)."""
+    return TraceListener(spec).accept(timeout=timeout)
+
+
+def connect_endpoint(spec: str, connect_timeout: Optional[float] = 10.0,
+                     retry_interval: float = 0.05) -> socket.socket:
+    """Producer side: connect to a live endpoint, returning the socket.
+
+    Retries until ``connect_timeout`` elapses (the server may not have
+    bound yet — the natural startup race of "start ``repro serve``, then
+    start the producer"); ``connect_timeout=None`` tries exactly once.
+    """
+    kind, addr = parse_endpoint(spec)
+    family = socket.AF_UNIX if kind == "unix" else socket.AF_INET
+    deadline = (None if connect_timeout is None
+                else time.monotonic() + connect_timeout)
+    while True:
+        sock = socket.socket(family)
+        try:
+            sock.connect(addr)
+            return sock
+        except OSError:
+            sock.close()
+            if deadline is None or time.monotonic() >= deadline:
+                raise
+            time.sleep(retry_interval)
+
+
+class _SendallSink:
+    """A write-only file over a socket whose every write is a complete
+    ``sendall`` (a raw ``send`` may transmit a short count)."""
+
+    __slots__ = ("_sock",)
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+
+    def write(self, data) -> int:
+        self._sock.sendall(data)
+        return len(data)
+
+
+def send_events(dims: Union[Trace, TraceInfo], events, spec: str,
+                binary: bool = True,
+                connect_timeout: Optional[float] = 10.0,
+                flush_every: int = 512) -> int:
+    """Stream ``events`` to a waiting live endpoint; returns the count.
+
+    ``dims`` supplies the header every live analysis needs up front (a
+    :class:`Trace` or :class:`TraceInfo`).  ``binary`` picks the wire
+    format: v2 binary (default, >2x cheaper to ingest) or v1 text; the
+    receiver autodetects either.  ``events`` may be any iterable — a
+    generator keeps the producer's memory bounded too.
+
+    ``flush_every`` puts accumulated events on the wire every that many
+    events (plus once at the end).  This is what makes the producer
+    *live*: with default file buffering a slow producer's events would
+    sit unsent for tens of kilobytes, and the consumer's races would
+    surface arbitrarily late.  Raise it for bulk replay throughput.
+    """
+    from repro.trace.binfmt import BinaryTraceWriter
+    from repro.trace.format import format_event, header_line
+
+    flush_every = max(flush_every, 1)
+    sock = connect_endpoint(spec, connect_timeout=connect_timeout)
+    try:
+        # sendall, not a raw file write: a single send() may transmit a
+        # short count (signal mid-send), and a buffered file would hold
+        # bytes back from a live consumer — every flushed batch must hit
+        # the wire whole, immediately
+        sink = _SendallSink(sock)
+        if binary:
+            writer = BinaryTraceWriter(sink, dims)
+            # the header goes out before the first event: the consumer
+            # parses it at accept time and must not wait out the first
+            # flush window of a slow producer
+            writer.flush()
+            for event in events:
+                writer.write(event)
+                if writer.events_written % flush_every == 0:
+                    writer.flush()
+            writer.flush()
+            return writer.events_written
+        sink.write((header_line(dims) + "\n").encode("ascii"))
+        lines = []
+        count = 0
+        for event in events:
+            lines.append(format_event(event) + "\n")
+            count += 1
+            if count % flush_every == 0:
+                sink.write("".join(lines).encode("ascii"))
+                lines = []
+        if lines:
+            sink.write("".join(lines).encode("ascii"))
+        return count
+    finally:
+        sock.close()
+
+
+def send_trace(trace: Trace, spec: str, binary: bool = True,
+               connect_timeout: Optional[float] = 10.0) -> int:
+    """Stream a materialized trace to a waiting live endpoint."""
+    return send_events(trace, trace.events, spec, binary=binary,
+                       connect_timeout=connect_timeout)

@@ -24,8 +24,12 @@ implementation:
 
 Subclasses implement two hooks: ``_read_header`` (called during
 construction; sets ``self.info`` when the source declares dimensions)
-and ``_events`` (the lazy event generator; must close an owned handle in
-a ``finally``).
+and ``_events`` (the lazy event generator).  The base class wraps
+``_events`` so that :meth:`TraceStreamBase.close` runs when iteration
+ends — by exhaustion *or* by an error raised mid-iteration — so no
+subclass can leak its handle by forgetting a ``finally`` (subclasses may
+still carry their own ``finally`` to update counters; ``close`` is
+idempotent).
 """
 
 from __future__ import annotations
@@ -88,7 +92,9 @@ class TraceStreamBase:
         raise NotImplementedError
 
     def _events(self) -> Iterator[Event]:
-        """The lazy event generator (must close an owned fp when done)."""
+        """The lazy event generator.  Closing on iteration end (by
+        exhaustion or error) is enforced by ``__iter__``'s guard; a
+        subclass ``finally`` is only needed for its own bookkeeping."""
         raise NotImplementedError
 
     # ------------------------------------------------------------------
@@ -126,4 +132,17 @@ class TraceStreamBase:
                 "trace stream is one-shot and was already consumed; "
                 "re-open the source to iterate again")
         self._consumed = True
-        return self._events()
+        return self._guarded_events()
+
+    def _guarded_events(self) -> Iterator[Event]:
+        # Close-on-iteration-end is enforced here, once for every
+        # subclass: a reader whose ``_events`` generator raises
+        # mid-iteration (truncated input, undecodable bytes, a dropped
+        # live connection) must not leak its underlying handle even if
+        # its own generator has no ``finally``.  ``close()`` is
+        # idempotent, so subclasses that do close themselves (and also
+        # update counters in their ``finally``) are unaffected.
+        try:
+            yield from self._events()
+        finally:
+            self.close()

@@ -265,6 +265,19 @@ class TestErrors:
         with pytest.raises(TraceFormatError, match="bad event kind"):
             list(stream)
 
+    def test_oversized_varint_in_header(self):
+        # endless continuation bits must be rejected, not accumulated
+        # into an unbounded int (a live producer could stream 0x80s)
+        with pytest.raises(TraceFormatError, match="oversized varint"):
+            stream_trace(io.BytesIO(MAGIC + b"\x80" * 80))
+
+    def test_oversized_varint_in_event(self):
+        blob = dumps_trace_binary(Trace([], num_threads=1, num_locks=0,
+                                        num_vars=0))
+        stream = stream_trace(io.BytesIO(blob + b"\x80" * 40))
+        with pytest.raises(TraceFormatError, match="oversized varint"):
+            list(stream)
+
     def test_undecodable_bytes_mid_file(self):
         # enough valid lines that the bad bytes land beyond the text
         # wrapper's first decoded chunk: the error surfaces mid-iteration
@@ -295,3 +308,19 @@ class TestEngineAndHarness:
         result = measure_stream(str(path), ["st-wdc"])
         assert result.events == len(figure1())
         assert result.reports["st-wdc"].dynamic_count == 1
+
+    def test_measure_stream_windowed_session_path(self, tmp_path):
+        # window_events drives the same capture through an incremental
+        # engine session (the live-serving path); reports are identical
+        from repro.harness.measure import measure_stream
+        path = tmp_path / "b.trace"
+        path.write_bytes(dumps_trace_binary(figure1()))
+        one_shot = measure_stream(str(path), ["st-wdc", "fto-hb"])
+        windowed = measure_stream(str(path), ["st-wdc", "fto-hb"],
+                                  window_events=5)
+        assert windowed.events == one_shot.events == len(figure1())
+        for name in ("st-wdc", "fto-hb"):
+            assert [r.index for r in windowed.reports[name].races] == \
+                [r.index for r in one_shot.reports[name].races]
+            assert windowed.reports[name].peak_footprint_bytes == \
+                one_shot.reports[name].peak_footprint_bytes

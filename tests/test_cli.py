@@ -1,11 +1,14 @@
 """Tests for the command-line interface (python -m repro)."""
 
+import json
 import os
+import threading
 
 import pytest
 
 from repro.cli import main
-from repro.trace import dump_trace
+from repro.trace import dump_trace, load_trace
+from repro.trace.live import send_trace
 from repro.workloads import figure1
 
 
@@ -373,3 +376,274 @@ class TestTables:
                      "--out", str(tmp_path)])
         assert code == 0
         assert (tmp_path / "table2.txt").exists()
+
+
+class TestServe:
+    """The online subcommand: repro serve + repro generate --to-socket."""
+
+    def _serve_in_thread(self, argv):
+        codes = []
+
+        def run():
+            codes.append(main(argv))
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        return thread, codes
+
+    def test_round_trip_summary_byte_identical_to_analyze(self, tmp_path,
+                                                          capsys):
+        # record a workload once, then compare the offline CLI verdict
+        # with the online one on the very same events
+        trace_path = str(tmp_path / "w.trace")
+        assert main(["generate", "--program", "xalan", "--scale", "0.05",
+                     "--binary", "-o", trace_path]) == 0
+        capsys.readouterr()
+        expected_code = main(["analyze", trace_path,
+                              "-a", "st-wdc", "-a", "fto-hb"])
+        expected = capsys.readouterr().out
+        assert expected_code == 1  # xalan has planted races
+
+        trace = load_trace(trace_path)
+        addr = str(tmp_path / "s.sock")
+        sender = threading.Thread(target=send_trace, args=(trace, addr),
+                                  daemon=True)
+        sender.start()
+        code = main(["serve", addr, "-a", "st-wdc", "-a", "fto-hb",
+                     "--timeout", "30"])
+        sender.join()
+        out = capsys.readouterr().out
+        assert code == expected_code
+        # the live race stream comes first; the closing summary block is
+        # byte-identical to the offline analyze output
+        assert out.endswith(expected)
+        assert out.startswith("race st-wdc")
+
+    def test_round_trip_jsonl_matches_detect_races(self, tmp_path, capsys):
+        import repro
+
+        trace_path = str(tmp_path / "w.trace")
+        main(["generate", "--program", "xalan", "--scale", "0.05",
+              "--binary", "-o", trace_path])
+        capsys.readouterr()
+        trace = load_trace(trace_path)
+        addr = str(tmp_path / "j.sock")
+        sender = threading.Thread(target=send_trace, args=(trace, addr),
+                                  daemon=True)
+        sender.start()
+        code = main(["serve", addr, "-a", "st-wdc", "--emit", "jsonl",
+                     "--timeout", "30"])
+        sender.join()
+        lines = [json.loads(line) for line in
+                 capsys.readouterr().out.splitlines()]
+        solo = repro.detect_races(trace, "st-wdc")
+        races = [l for l in lines if l["type"] == "race"]
+        assert [(l["event"], l["var"], l["tid"], l["access"], l["kinds"])
+                for l in races] == \
+            [(r.index, r.var, r.tid, r.access, r.kinds)
+             for r in solo.races]
+        (summary,) = [l for l in lines if l["type"] == "summary"]
+        assert summary["dynamic"] == solo.dynamic_count
+        assert summary["static"] == solo.static_count
+        assert summary["events"] == len(trace)
+        assert code == 1
+
+    def test_generate_to_socket_cli_round_trip(self, tmp_path, capsys):
+        addr = str(tmp_path / "g.sock")
+        server, codes = self._serve_in_thread(
+            ["serve", addr, "-a", "st-wdc", "--emit", "jsonl",
+             "--timeout", "30"])
+        code = main(["generate", "--program", "xalan", "--scale", "0.05",
+                     "--binary", "--to-socket", addr])
+        server.join(60)
+        assert code == 0
+        assert codes == [1]  # the served analysis found the planted races
+        out = capsys.readouterr().out
+        assert "streamed" in out
+        summaries = [json.loads(line) for line in out.splitlines()
+                     if line.startswith("{")
+                     and '"type": "summary"' in line]
+        assert summaries and summaries[0]["dynamic"] > 0
+
+    def test_serve_tcp_endpoint(self, tmp_path, capsys):
+        # port 0 cannot be scripted from the CLI (the producer needs the
+        # real port), so pick a free one first
+        import socket as socket_module
+
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        addr = "127.0.0.1:{}".format(port)
+        trace = figure1()
+        sender = threading.Thread(target=send_trace, args=(trace, addr),
+                                  daemon=True)
+        sender.start()
+        code = main(["serve", addr, "-a", "st-wdc", "--timeout", "30"])
+        sender.join()
+        assert code == 1
+        assert "1 static / 1 dynamic" in capsys.readouterr().out
+
+    def test_serve_accept_timeout_exits_2(self, tmp_path, capsys):
+        code = main(["serve", str(tmp_path / "never.sock"),
+                     "--timeout", "0.1"])
+        assert code == 2
+        capsys.readouterr()
+
+    def test_serve_truncated_feed_exits_2(self, tmp_path, capsys):
+        from repro.trace import dumps_trace_binary
+        from repro.trace.live import connect_endpoint
+
+        addr = str(tmp_path / "tr.sock")
+        blob = dumps_trace_binary(figure1())
+
+        def run():
+            sock = connect_endpoint(addr, connect_timeout=10)
+            try:
+                sock.sendall(blob[:-1])  # dies mid-event
+            finally:
+                sock.close()
+
+        sender = threading.Thread(target=run, daemon=True)
+        sender.start()
+        code = main(["serve", addr, "--timeout", "30"])
+        sender.join()
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "live feed failed" in captured.err
+        # the partial summary still comes out (the session survived)
+        assert "st-wdc" in captured.out
+
+    def test_serve_failed_installment_still_emits_its_races(self, tmp_path,
+                                                            capsys):
+        # regression: races discovered by the partial chunk of the
+        # installment that failed were lost in jsonl mode (the feed
+        # raised before returning them; the summary only has counts)
+        from repro.trace import dumps_trace_binary
+        from repro.trace.live import connect_endpoint
+
+        addr = str(tmp_path / "lost.sock")
+        # all of figure1 (including its race) followed by a truncated
+        # event, delivered in one installment
+        blob = dumps_trace_binary(figure1()) + b"\x01"
+
+        def run():
+            sock = connect_endpoint(addr, connect_timeout=10)
+            try:
+                sock.sendall(blob)
+            finally:
+                sock.close()
+
+        sender = threading.Thread(target=run, daemon=True)
+        sender.start()
+        code = main(["serve", addr, "-a", "st-wdc", "--emit", "jsonl",
+                     "--timeout", "30"])
+        sender.join()
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "live feed failed" in captured.err
+        lines = [json.loads(line) for line in captured.out.splitlines()]
+        races = [l for l in lines if l["type"] == "race"]
+        (summary,) = [l for l in lines if l["type"] == "summary"]
+        assert summary["dynamic"] == len(races) == 1  # nothing lost
+
+    def test_serve_connection_reset_prints_partial_summary(self, capsys):
+        # an RST mid-stream is an OSError, not a TraceFormatError; it
+        # must still take the partial-summary path instead of escaping
+        # to main()'s generic handler with an empty stdout
+        import socket as socket_module
+        import struct
+        import time
+
+        from repro.trace import dumps_trace_binary
+        from repro.trace.live import connect_endpoint
+
+        probe = socket_module.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        addr = "127.0.0.1:{}".format(port)
+        blob = dumps_trace_binary(figure1())
+
+        def run():
+            sock = connect_endpoint(addr, connect_timeout=10)
+            sock.sendall(blob[:-6])
+            time.sleep(0.5)  # let the server drain the header + events
+            sock.setsockopt(socket_module.SOL_SOCKET,
+                            socket_module.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+            sock.close()  # RST instead of FIN
+
+        sender = threading.Thread(target=run, daemon=True)
+        sender.start()
+        code = main(["serve", addr, "-a", "st-wdc", "--timeout", "30"])
+        sender.join()
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "live feed failed" in captured.err
+        assert "st-wdc" in captured.out  # the partial summary came out
+
+    def test_serve_hostile_header_dimensions_exit_2(self, tmp_path, capsys):
+        # a remote producer declaring more threads than packed epochs
+        # support must be a clean exit 2, not an uncaught ValueError
+        # (exit 1 would read as "races found" to a supervisor)
+        from repro.trace.binfmt import MAGIC
+        from repro.trace.live import connect_endpoint
+
+        addr = str(tmp_path / "hostile.sock")
+        header = bytearray(MAGIC)
+        for dim in (70_000, 1, 1, 0, 0, 0):  # threads way past 65536
+            while dim > 0x7F:
+                header.append((dim & 0x7F) | 0x80)
+                dim >>= 7
+            header.append(dim)
+
+        def run():
+            sock = connect_endpoint(addr, connect_timeout=10)
+            try:
+                sock.sendall(bytes(header))
+            finally:
+                sock.close()
+
+        sender = threading.Thread(target=run, daemon=True)
+        sender.start()
+        code = main(["serve", addr, "--timeout", "30"])
+        sender.join()
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot analyze this feed" in captured.err
+
+    def test_generate_to_socket_dropped_server_exits_2(self, tmp_path,
+                                                       capsys):
+        # regression: a BrokenPipeError from the server dying mid-send
+        # was swallowed by main()'s stdout-pipe handler and turned into
+        # a silent exit 0 — the producer must report the failure
+        import socket as socket_module
+
+        addr = str(tmp_path / "drop.sock")
+        server = socket_module.socket(socket_module.AF_UNIX)
+        server.bind(addr)
+        server.listen(1)
+
+        def accept_and_drop():
+            conn, _ = server.accept()
+            conn.close()  # hang up without reading anything
+            server.close()
+
+        dropper = threading.Thread(target=accept_and_drop, daemon=True)
+        dropper.start()
+        code = main(["generate", "--program", "xalan", "--scale", "1",
+                     "--binary", "--to-socket", addr])
+        dropper.join()
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "streaming to" in captured.err
+        assert "streamed" not in captured.out  # no false success line
+
+    def test_generate_needs_exactly_one_destination(self, tmp_path, capsys):
+        assert main(["generate", "--program", "xalan"]) == 2
+        assert "exactly one" in capsys.readouterr().err
+        assert main(["generate", "--program", "xalan",
+                     "-o", str(tmp_path / "x.trace"),
+                     "--to-socket", "x.sock"]) == 2
+        assert "exactly one" in capsys.readouterr().err

@@ -536,3 +536,142 @@ class TestEpochEnderTable:
                     "{} bumps the local clock at kind {} but the "
                     "engine's same-epoch filter does not treat it as an "
                     "epoch ender".format(name, kind))
+
+
+class TestSession:
+    """The incremental session API (MultiRunner.session): feeding the
+    stream in installments is bit-identical to the one-shot pass, new
+    races surface per installment, and the lifecycle is enforced."""
+
+    def _drain(self, session, events, window, rng=None):
+        feed = iter(events)
+        streamed = []
+        while True:
+            seen = session.events_processed
+            streamed += session.feed(feed, max_events=window)
+            if session.events_processed == seen:
+                break
+        return streamed
+
+    def test_windowed_feeds_equal_one_shot(self, rng):
+        trace = random_trace(rng, n_events=150)
+        one_shot = MultiRunner(
+            [create(n, trace) for n in ALL_ANALYSES]).run(trace)
+        for window in (1, 7, 64, 10_000):
+            session = MultiRunner(
+                [create(n, trace) for n in ALL_ANALYSES]).session()
+            self._drain(session, trace.events, window)
+            result = session.finish()
+            assert result.events_processed == len(trace)
+            for name in ALL_ANALYSES:
+                assert _race_key(result.report(name)) == \
+                    _race_key(one_shot.report(name)), (window, name)
+
+    def test_feed_returns_each_race_exactly_once_in_order(self, rng):
+        trace = random_trace(rng, n_events=120)
+        session = MultiRunner([create("st-wdc", trace)]).session()
+        streamed = self._drain(session, trace.events, 13)
+        result = session.finish()
+        assert [(name, race.index) for name, race in streamed] == \
+            [("st-wdc", race.index)
+             for race in result.report("st-wdc").races]
+
+    def test_snapshot_is_cheap_progress_view(self):
+        trace = repro.loads_trace(repro.dumps_trace(figure1()))
+        session = MultiRunner([create("st-wdc", trace),
+                               create("fto-hb", trace)]).session()
+        snap = session.snapshot()
+        assert snap.events_processed == 0
+        assert snap.dynamic_counts == {"st-wdc": 0, "fto-hb": 0}
+        session.feed(trace.events)
+        snap = session.snapshot()
+        assert snap.events_processed == len(trace)
+        assert snap.dynamic_counts["st-wdc"] == 1
+        assert snap.static_counts["st-wdc"] == 1
+        assert snap.dynamic_counts["fto-hb"] == 0
+        assert snap.failures == []
+        result = session.finish()
+        assert result.report("st-wdc").dynamic_count == 1
+
+    def test_lifecycle_enforced(self):
+        trace = figure1()
+        runner = MultiRunner([create("st-wdc", trace)])
+        session = runner.session()
+        with pytest.raises(RuntimeError, match="still"):
+            runner.session()  # only one open session per runner
+        session.feed(trace.events)
+        session.finish()
+        with pytest.raises(RuntimeError, match="finished"):
+            session.feed(trace.events)
+        with pytest.raises(RuntimeError, match="finished"):
+            session.finish()
+        runner2 = MultiRunner([create("st-wdc", trace)])
+        abandoned = runner2.session()
+        abandoned.close()  # close() releases without reports
+        runner2.session()
+
+    def test_failure_detached_across_feeds(self, rng):
+        trace = random_trace(rng, n_events=60)
+        exploding = ExplodingAnalysis(trace, explode_at=10)
+        healthy = create("st-wdc", trace)
+        session = MultiRunner([exploding, healthy]).session()
+        session.feed(trace.events[:30])
+        snap = session.snapshot()
+        assert [f.name for f in snap.failures] == ["exploding"]
+        session.feed(trace.events[30:])
+        result = session.finish()
+        assert [f.event_index for f in result.failures] == [10]
+        solo = repro.detect_races(trace, "st-wdc")
+        assert _race_key(result.report("st-wdc")) == _race_key(solo)
+        assert result.report("st-wdc").events_processed == len(trace)
+
+    def test_progress_spans_feeds(self):
+        spec = WorkloadSpec(name="p", threads=3, events=2000, seed=5)
+        trace = generate_trace(spec)
+        seen = []
+        runner = MultiRunner([create("st-wdc", trace)],
+                             progress=seen.append, chunk_events=512)
+        session = runner.session()
+        self._drain(session, trace.events, 300)
+        result = session.finish()
+        assert seen[-1] == result.events_processed == len(trace)
+        assert seen == sorted(set(seen))
+
+    def test_shared_hb_group_active_across_installments(self, rng):
+        trace = random_trace(rng, n_events=90)
+        wcp_names = ("unopt-wcp", "fto-wcp", "st-wcp")
+        runner = MultiRunner([create(n, trace) for n in wcp_names])
+        session = runner.session()
+        assert runner.hb_groups  # the family adopted a shared bank
+        self._drain(session, trace.events, 11)
+        result = session.finish()
+        for name in wcp_names:
+            solo = create(name, trace).run()
+            assert _race_key(result.report(name)) == _race_key(solo), name
+
+    def test_drain_is_windowed_feed_to_eof(self, rng):
+        trace = random_trace(rng, n_events=140)
+        session = MultiRunner([create("st-wdc", trace)]).session()
+        streamed = list(session.drain(iter(trace.events), window=9))
+        result = session.finish()
+        assert session.events_processed == len(trace)
+        assert [(name, race.index) for name, race in streamed] == \
+            [("st-wdc", race.index)
+             for race in result.report("st-wdc").races]
+
+    def test_source_error_leaves_session_usable(self, rng):
+        trace = random_trace(rng, n_events=50)
+
+        def broken():
+            for event in trace.events[:20]:
+                yield event
+            raise ValueError("wire fell out")
+
+        session = MultiRunner([create("st-wdc", trace)]).session()
+        with pytest.raises(ValueError, match="wire fell out"):
+            session.feed(broken())
+        assert session.events_processed == 20
+        session.feed(trace.events[20:])  # resume after the feed error
+        result = session.finish()
+        solo = repro.detect_races(trace, "st-wdc")
+        assert _race_key(result.report("st-wdc")) == _race_key(solo)

@@ -6,14 +6,21 @@ asserts, for every analysis configuration in the matrix:
 
 (a) the old single-analysis path (``Analysis.run`` over a materialized
     trace) and the new single-pass :class:`MultiRunner` report *identical*
-    races, and
+    races,
 (b) the paper's race-subset hierarchy holds: every HB-race is a WCP-race
-    is a DC-race is a WDC-race (racy-variable sets nest accordingly).
+    is a DC-race is a WDC-race (racy-variable sets nest accordingly), and
+(c) *online == offline*: replaying the same trace through a live socket
+    session (``repro.trace.live`` + ``MultiRunner.session()``) in
+    randomized feed-window sizes — alternating the binary and text wire
+    formats — produces reports identical to the offline paths, and the
+    incrementally streamed race records reassemble exactly into the
+    final reports.
 
 Volume is dialed with ``--fuzz-count`` / ``FUZZ_COUNT`` (see conftest).
 """
 
 import random
+import threading
 
 import pytest
 
@@ -21,6 +28,7 @@ import repro
 from repro.core.engine import MultiRunner
 from repro.core.registry import create
 from repro.trace.event import Event, FORK, JOIN, STATIC_ACCESS, STATIC_INIT
+from repro.trace.live import TraceListener, send_trace
 from repro.trace.trace import Trace
 from tests.conftest import ALL_ANALYSES, random_trace
 
@@ -85,6 +93,55 @@ def test_fuzz_multirunner_vs_solo_and_hierarchy(fuzz_count):
             racy = [result.report(name).racy_vars for name in chain]
             for weaker, stronger in zip(racy, racy[1:]):
                 assert weaker <= stronger, (trial, chain)
+
+
+def test_fuzz_online_socket_session_equals_offline(fuzz_count, tmp_path):
+    """Every fuzzed trace, replayed through a live socket session in
+    randomized feed-window sizes, is report-identical to the offline
+    paths: the one-shot engine pass, and (one rotating configuration per
+    trial) the plain ``detect_races`` solo run.  The races streamed out
+    of ``feed()`` installment by installment must also reassemble into
+    exactly the final reports — each dynamic race reported once, in
+    order."""
+    rng = random.Random(0x0511E)
+    for trial in range(fuzz_count):
+        trace = fuzzed_trace(rng, trial)
+        offline = MultiRunner(
+            [create(name, trace) for name in ALL_ANALYSES]).run(trace)
+        addr = str(tmp_path / "t{}.sock".format(trial))
+        listener = TraceListener(addr)
+        sender = threading.Thread(
+            target=send_trace, args=(trace, addr),
+            kwargs={"binary": trial % 2 == 0}, daemon=True)
+        sender.start()
+        source = listener.accept(timeout=30)
+        with source:
+            info = source.require_info()
+            session = MultiRunner(
+                [create(name, info) for name in ALL_ANALYSES]).session()
+            feed = iter(source)
+            streamed = []
+            while True:
+                seen = session.events_processed
+                streamed += session.feed(feed,
+                                         max_events=rng.randrange(1, 33))
+                if session.events_processed == seen:
+                    break
+            online = session.finish()
+        sender.join()
+        assert online.ok, (trial, online.failures)
+        assert online.events_processed == len(trace)
+        for name in ALL_ANALYSES:
+            assert _race_key(online.report(name)) == \
+                _race_key(offline.report(name)), (trial, name)
+            incremental = [(r.index, r.var, r.tid, r.access, r.kinds)
+                           for n, r in streamed if n == name]
+            assert incremental == _race_key(online.report(name)), \
+                (trial, name)
+        anchor = ALL_ANALYSES[trial % len(ALL_ANALYSES)]
+        solo = repro.detect_races(trace, anchor)
+        assert _race_key(online.report(anchor)) == _race_key(solo), \
+            (trial, anchor)
 
 
 def test_fuzz_single_iteration_property(fuzz_count):
