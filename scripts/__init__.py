@@ -1,0 +1,2 @@
+"""Repository tooling invoked as ``python -m scripts.<name>`` (CI and
+developer checks; not part of the installable ``repro`` package)."""

@@ -1,0 +1,101 @@
+"""CI guard: the public API surface must stay documented.
+
+Checks two things over ``repro.__all__`` (the re-exported public API):
+
+1. every member that is a class or callable has a non-empty docstring
+   (data members such as ``ANALYSIS_NAMES`` are exempt — they carry
+   ``#:`` comments at their definition sites instead), and
+2. the key entry points a newcomer reaches first
+   (:data:`EXAMPLE_REQUIRED`) additionally carry an *example-bearing*
+   docstring — a doctest (``>>>``) or a literal code block (``::``).
+
+Run as ``python -m scripts.check_docs`` (CI does, with
+``PYTHONPATH=src``); exits non-zero listing every violation, so a PR
+that adds an undocumented public name fails loudly.
+"""
+
+from __future__ import annotations
+
+import inspect
+import sys
+
+#: Dotted names whose docstring must include a runnable example
+#: (``>>>`` doctest or ``::`` literal block).  These are the first
+#: entry points README/quickstart users reach.
+EXAMPLE_REQUIRED = (
+    "detect_races",
+    "detect_races_multi",
+    "detect_races_stream",
+    "detect_races_parallel",
+    "stream_trace",
+    "MultiRunner.session",
+    "ParallelRunner",
+    "TraceListener",
+    "PipeTraceSource",
+    "send_trace",
+)
+
+
+def _resolve(root, dotted: str):
+    obj = root
+    for part in dotted.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _own_doc(obj) -> str:
+    """The object's docstring, ignoring ones inherited from builtins
+    (``inspect.getdoc(some_list)`` would return ``list.__doc__``)."""
+    if not (inspect.isclass(obj) or callable(obj) or inspect.ismodule(obj)):
+        return ""  # data member; handled by the caller
+    return inspect.getdoc(obj) or ""
+
+
+def check(root) -> list:
+    failures = []
+    for name in sorted(root.__all__):
+        obj = getattr(root, name, None)
+        if obj is None:
+            failures.append(
+                "{}: listed in __all__ but not importable".format(name))
+            continue
+        if not (inspect.isclass(obj) or callable(obj)):
+            continue  # data members (ANALYSIS_NAMES, MAIN_MATRIX, ...)
+        if not _own_doc(obj).strip():
+            failures.append("{}: public API member has no docstring"
+                            .format(name))
+    for dotted in EXAMPLE_REQUIRED:
+        try:
+            obj = _resolve(root, dotted)
+        except AttributeError:
+            failures.append(
+                "{}: named in EXAMPLE_REQUIRED but not found".format(dotted))
+            continue
+        doc = _own_doc(obj)
+        if not doc.strip():
+            failures.append("{}: key entry point has no docstring"
+                            .format(dotted))
+        elif ">>>" not in doc and "::" not in doc:
+            failures.append(
+                "{}: docstring lacks an example (add a '>>>' doctest or "
+                "a '::' literal block)".format(dotted))
+    return failures
+
+
+def main() -> int:
+    import repro
+
+    failures = check(repro)
+    if failures:
+        print("documentation check FAILED ({} problem(s)):"
+              .format(len(failures)), file=sys.stderr)
+        for line in failures:
+            print("  - " + line, file=sys.stderr)
+        return 1
+    print("documentation check ok: {} public members, {} example-bearing "
+          "entry points".format(len(repro.__all__), len(EXAMPLE_REQUIRED)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,101 @@
+"""README smoke check: execute the quickstart code blocks.
+
+Walks README.md, extracts every fenced ```bash and ```python code
+block, and executes them in order in one shared scratch directory (so a
+file recorded by an early block is visible to later ones), with
+``PYTHONPATH`` pointing at ``src/``.  Fenced blocks in any other
+language (```text, ```, table snippets, ...) are documentation-only and
+skipped; a block preceded by an HTML comment ``<!-- snippet: skip -->``
+is skipped too.
+
+A block *passes* when it exits 0 or 1 — exit 1 is the documented
+"races found" status and the quickstart deliberately finds races — and
+fails the check on any other status.  Run as
+``python -m scripts.run_readme_snippets [README.md]`` (CI does).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+_FENCE = re.compile(
+    r"(?P<skip><!--\s*snippet:\s*skip\s*-->\s*\n)?"
+    r"^```(?P<lang>bash|python)\n(?P<body>.*?)^```$",
+    re.MULTILINE | re.DOTALL)
+
+#: Exit statuses that count as success: 0 (no races) and 1 (races
+#: found) are both completed runs under the documented CLI contract.
+_OK = (0, 1)
+
+
+def extract(markdown: str):
+    """Yield ``(lang, body)`` for every runnable fenced block."""
+    for match in _FENCE.finditer(markdown):
+        if match.group("skip"):
+            continue
+        yield match.group("lang"), match.group("body")
+
+
+def run_blocks(readme_path: str) -> int:
+    with open(readme_path) as fp:
+        blocks = list(extract(fp.read()))
+    if not blocks:
+        print("error: no runnable code blocks found in {}".format(
+            readme_path), file=sys.stderr)
+        return 1
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    env = dict(os.environ)
+    src = os.path.join(repo_root, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="readme-snippets-") as cwd:
+        for index, (lang, body) in enumerate(blocks, 1):
+            label = "block {}/{} [{}]".format(index, len(blocks), lang)
+            if lang == "python":
+                argv = [sys.executable, "-c", body]
+            else:
+                # `python` inside README blocks must mean *this* python
+                shim_dir = os.path.join(cwd, ".bin")
+                os.makedirs(shim_dir, exist_ok=True)
+                shim = os.path.join(shim_dir, "python")
+                if not os.path.exists(shim):
+                    with open(shim, "w") as fp:
+                        fp.write("#!/bin/sh\nexec {} \"$@\"\n".format(
+                            sys.executable))
+                    os.chmod(shim, 0o755)
+                env["PATH"] = shim_dir + os.pathsep + env.get("PATH", "")
+                argv = ["bash", "-c", body]
+            proc = subprocess.run(argv, cwd=cwd, env=env,
+                                  capture_output=True, text=True,
+                                  timeout=600)
+            if proc.returncode in _OK:
+                print("{}: ok (exit {})".format(label, proc.returncode))
+            else:
+                failures += 1
+                print("{}: FAILED (exit {})".format(label, proc.returncode),
+                      file=sys.stderr)
+                print("--- snippet ---\n" + body, file=sys.stderr)
+                print("--- stdout ---\n" + proc.stdout, file=sys.stderr)
+                print("--- stderr ---\n" + proc.stderr, file=sys.stderr)
+    if failures:
+        print("{} of {} README block(s) failed".format(
+            failures, len(blocks)), file=sys.stderr)
+        return 1
+    print("all {} README block(s) executed".format(len(blocks)))
+    return 0
+
+
+def main() -> int:
+    readme = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "README.md")
+    return run_blocks(readme)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ from repro.core.engine import (
     run_analyses,
     run_stream,
 )
+from repro.core.parallel import ParallelRunner, plan_shards, run_parallel
 from repro.core.registry import ANALYSIS_NAMES, MAIN_MATRIX, create, relation_of, tier_of
 from repro.trace.builder import TraceBuilder
 from repro.trace.event import Event
@@ -51,6 +52,7 @@ from repro.trace.format import (
     loads_trace,
     stream_trace,
 )
+from repro.trace.live import PipeTraceSource, TraceListener, send_trace
 from repro.trace.trace import Trace, TraceInfo, WellFormednessError
 
 __version__ = "1.0.0"
@@ -63,25 +65,32 @@ __all__ = [
     "MAIN_MATRIX",
     "MultiResult",
     "MultiRunner",
+    "ParallelRunner",
+    "PipeTraceSource",
     "RaceRecord",
     "RaceReport",
     "SessionSnapshot",
     "Trace",
     "TraceBuilder",
+    "TraceListener",
     "TraceFormatError",
     "TraceInfo",
     "WellFormednessError",
     "create",
     "detect_races",
     "detect_races_multi",
+    "detect_races_parallel",
     "detect_races_stream",
     "dump_trace",
     "dumps_trace",
     "load_trace",
     "loads_trace",
+    "plan_shards",
     "relation_of",
     "run_analyses",
+    "run_parallel",
     "run_stream",
+    "send_trace",
     "stream_trace",
     "tier_of",
     "vindicate_first_race",
@@ -98,6 +107,14 @@ def detect_races(trace: Trace, analysis: str = "st-wdc",
     ``collect_cases=True`` fills the report's ``case_counts`` (Table 12);
     it is off by default because the counting costs a dict update on
     nearly every access.
+
+    >>> import repro
+    >>> from repro.workloads import figure1
+    >>> report = repro.detect_races(figure1(), "st-wdc")
+    >>> report.dynamic_count, report.static_count
+    (1, 1)
+    >>> report.first_race.access
+    'write'
     """
     return create(analysis, trace, collect_cases=collect_cases).run(
         sample_every=sample_footprint_every)
@@ -110,6 +127,14 @@ def detect_races_multi(trace: Trace, analyses=None,
     ``analyses`` is a sequence of registry names (default: the paper's
     eleven-configuration :data:`MAIN_MATRIX`).  All analyses share a
     single pass over the events (see :class:`repro.core.engine.MultiRunner`).
+
+    >>> import repro
+    >>> from repro.workloads import figure1
+    >>> result = repro.detect_races_multi(figure1(), ["fto-hb", "st-dc"])
+    >>> result.report("fto-hb").dynamic_count  # HB misses the race
+    0
+    >>> result.report("st-dc").dynamic_count   # DC predicts it
+    1
     """
     return run_analyses(trace, list(analyses or MAIN_MATRIX),
                         sample_every=sample_footprint_every)
@@ -124,9 +149,45 @@ def detect_races_stream(source, analyses=None,
     leading bytes; events are parsed lazily and the full trace is never
     materialized.  ``analyses`` defaults to ``["st-wdc"]`` (the paper's
     cheapest predictive configuration).
+
+    Example (record, then analyze the file in bounded memory)::
+
+        import repro
+        from repro.workloads import figure1
+
+        with open("fig1.trace", "w") as fp:
+            repro.dump_trace(figure1(), fp)
+        result = repro.detect_races_stream("fig1.trace", ["st-wdc"])
+        assert result.report("st-wdc").dynamic_count == 1
     """
     return run_stream(source, list(analyses or ["st-wdc"]),
                       sample_every=sample_footprint_every)
+
+
+def detect_races_parallel(source, analyses=None, workers: int = 2,
+                          sample_footprint_every: int = 0) -> MultiResult:
+    """Analyze a recorded trace file with multiprocess analysis shards.
+
+    The sharded counterpart of :func:`detect_races_stream`: the trace is
+    still parsed (and same-epoch-filtered) exactly once, in the parent,
+    and decoded chunks are broadcast to ``workers`` worker processes,
+    each running a family-aware shard of ``analyses`` (default: the full
+    :data:`MAIN_MATRIX`) — see :class:`repro.core.parallel.ParallelRunner`.
+    Reports are bit-identical to the in-process pass; an analysis of a
+    worker that died carries an
+    :class:`~repro.core.engine.AnalysisFailure` instead of a report.
+
+    Example (shard the paper's full matrix over 4 processes)::
+
+        import repro
+
+        result = repro.detect_races_parallel("big.bin", workers=4)
+        if result.ok:
+            print(result.report("st-wdc").dynamic_count)
+    """
+    return run_parallel(source, list(analyses or MAIN_MATRIX),
+                        workers=workers,
+                        sample_every=sample_footprint_every)
 
 
 def vindicate_first_race(trace: Trace, analysis: str = "st-wdc"):

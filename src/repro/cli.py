@@ -37,6 +37,14 @@ works.  A second connection attempt is refused (one execution per
 session), and ``--timeout`` bounds both the wait for the producer and
 every read, so a stalled feed exits 2 instead of hanging.
 
+``analyze``, ``compare``, and ``serve`` take ``--workers N`` to shard
+the requested analyses across N worker processes
+(:class:`repro.core.parallel.ParallelRunner`): the trace is still
+decoded exactly once (in the parent), decoded chunks are broadcast to
+the workers over shared memory, and the merged reports are identical to
+the in-process pass.  A worker that dies mid-run degrades to the
+partial-summary exit-2 path, like any detached analysis.
+
 Exit status contract: 0 = no races, 1 = races found, 2 = unreadable,
 malformed, or partially failed analysis.  2 takes precedence: a run that
 both finds races and fails an analysis exits 2, never a combined code.
@@ -78,35 +86,50 @@ def _print_report(name: str, report, args) -> int:
     return 1 if report.dynamic_count else 0
 
 
-def _print_entries(result, args) -> int:
-    """The per-analysis summary block shared by ``analyze --stream`` and
-    ``serve``: one FAILED line or one report per entry.  Returns 1 if
-    any surviving analysis found races."""
+def _print_entries(result, args, vindicate_trace=None) -> int:
+    """The per-analysis summary block shared by ``analyze [--stream]``
+    and ``serve``: one FAILED line or one report per entry.  With
+    ``vindicate_trace``, each racy report's first race is vindicated
+    inline (the materialized-trace ``analyze --vindicate`` path).
+    Returns 1 if any surviving analysis found races."""
     races_found = 0
     for entry in result.entries:
         if entry.failure is not None:
             print("{:<12} FAILED at event {}: {!r}".format(
                 entry.name, entry.failure.event_index, entry.failure.error))
-        else:
-            races_found |= _print_report(entry.name, entry.report, args)
+            continue
+        races_found |= _print_report(entry.name, entry.report, args)
+        if vindicate_trace is not None and entry.report.races:
+            from repro.vindication.vindicate import vindicate
+            verdict = vindicate(vindicate_trace, entry.report.first_race)
+            print("   vindication of first race: {}".format(verdict.verdict))
     return races_found
 
 
 def _cmd_analyze(args) -> int:
     analyses = args.analysis or ["st-wdc"]
     sample = 4096 if args.memory else 0
+    workers = max(getattr(args, "workers", 1), 1)
     exit_code = 0
     if args.stream:
         if args.vindicate:
             print("error: --vindicate needs the full trace in memory; "
                   "rerun without --stream", file=sys.stderr)
             return 2
-        result = run_stream(args.trace, analyses, sample_every=sample)
+        result = run_stream(args.trace, analyses, sample_every=sample,
+                            workers=workers)
         races_found = _print_entries(result, args)
         # 2 beats 1: a partially failed run is unreliable even when the
         # surviving analyses report races (documented 0/1/2 contract)
         return 2 if not result.ok else races_found
     trace = load_trace(args.trace)
+    if workers > 1:
+        from repro.core.parallel import ParallelRunner
+        result = ParallelRunner(analyses, trace, workers=workers,
+                                sample_every=sample).run(trace)
+        races_found = _print_entries(
+            result, args, vindicate_trace=trace if args.vindicate else None)
+        return 2 if not result.ok else races_found
     for name in analyses:
         report = create(name, trace).run(sample_every=sample)
         exit_code |= _print_report(name, report, args)
@@ -124,10 +147,19 @@ _HIERARCHY = ("hb", "wcp", "dc", "wdc")
 
 def _cmd_compare(args) -> int:
     analyses = args.analysis or list(MAIN_MATRIX)
+    workers = max(getattr(args, "workers", 1), 1)
     if args.program and (args.trace or args.stream):
         print("error: --program generates its own trace; it cannot be "
               "combined with a trace file or --stream", file=sys.stderr)
         return 2
+
+    def _run_in_memory(trace):
+        if workers > 1:
+            from repro.core.parallel import ParallelRunner
+            return ParallelRunner(analyses, trace,
+                                  workers=workers).run(trace)
+        return run_analyses(trace, analyses)
+
     if args.program:
         spec = DACAPO_SPECS[args.program]
         if args.scale is not None and args.scale != 1.0:
@@ -135,13 +167,13 @@ def _cmd_compare(args) -> int:
         if args.seed is not None:
             spec = dataclasses.replace(spec, seed=args.seed)
         trace = generate_trace(spec)
-        result = run_analyses(trace, analyses)
+        result = _run_in_memory(trace)
         source = "{} (seed {})".format(spec.name, spec.seed)
     elif args.trace:
         if args.stream:
-            result = run_stream(args.trace, analyses)
+            result = run_stream(args.trace, analyses, workers=workers)
         else:
-            result = run_analyses(load_trace(args.trace), analyses)
+            result = _run_in_memory(load_trace(args.trace))
         source = args.trace
     else:
         print("error: compare needs a trace file or --program",
@@ -251,10 +283,16 @@ def _cmd_serve(args) -> int:
     sys.stderr.flush()
     source = listener.accept(timeout=args.timeout)
     feed_error: Optional[BaseException] = None
+    workers = max(getattr(args, "workers", 1), 1)
     with source:
         info = source.require_info()
         try:
-            instances = [create(name, info) for name in analyses]
+            if workers > 1:
+                from repro.core.parallel import ParallelRunner
+                runner = ParallelRunner(analyses, info, workers=workers)
+            else:
+                runner = MultiRunner(
+                    [create(name, info) for name in analyses])
         except ValueError as exc:
             # a remote producer controls these dimensions; an absurd
             # header (e.g. more threads than packed epochs support) is a
@@ -262,7 +300,6 @@ def _cmd_serve(args) -> int:
             print("error: cannot analyze this feed: {}".format(exc),
                   file=sys.stderr)
             return 2
-        runner = MultiRunner(instances)
         session = runner.session()
         try:
             for name, race in session.drain(source, window=window):
@@ -316,6 +353,14 @@ def _cmd_convert(args) -> int:
     stream = stream_trace(args.input)
     source_format = ("binary" if isinstance(stream, BinaryTraceStream)
                      else "text")
+    if args.to == source_format:
+        # rewriting a trace into its own format is almost always a
+        # mixed-up --to; refuse instead of silently rewriting the bytes
+        stream.close()
+        print("error: {} is already in the {} format; converting to the "
+              "same format is a no-op (drop --to, or pick the other "
+              "format)".format(args.input, source_format), file=sys.stderr)
+        return 2
     target = args.to or ("text" if source_format == "binary" else "binary")
     if stream.info is None:
         # Header-less text: the dimensions a binary (or normalized text)
@@ -356,14 +401,44 @@ def _cmd_characterize(args) -> int:
     return 0
 
 
+#: Shared help epilog: the documented exit-status contract and the
+#: format-autodetection rule, surfaced on ``repro --help`` and on every
+#: trace-consuming subcommand's ``--help``.
+_CONTRACT_EPILOG = (
+    "exit status: 0 = no races found, 1 = races found, 2 = unreadable/"
+    "malformed input or a partially failed analysis (2 beats 1).\n"
+    "trace formats: v1 text and v2 binary are both accepted everywhere; "
+    "the format is autodetected from the file's leading bytes "
+    "(`repro convert` translates between them).")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SmartTrack predictive race detection (PLDI 2020 "
-                    "reproduction)")
+                    "reproduction)",
+        epilog=_CONTRACT_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    analyze = sub.add_parser("analyze", help="analyze a recorded trace")
+    def trace_parser(name, **kwargs):
+        """A subparser whose epilog restates the exit-code/format
+        contract (every subcommand that consumes or emits traces)."""
+        kwargs.setdefault("epilog", _CONTRACT_EPILOG)
+        kwargs.setdefault("formatter_class",
+                          argparse.RawDescriptionHelpFormatter)
+        return sub.add_parser(name, **kwargs)
+
+    def add_workers(cmd, what):
+        cmd.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="shard the {} across N worker processes (family-aware "
+                 "analysis-parallel sharding; reports are identical to "
+                 "the in-process pass, a dead worker degrades to exit 2 "
+                 "with a partial summary; default 1 = in-process)"
+                 .format(what))
+
+    analyze = trace_parser("analyze", help="analyze a recorded trace")
     analyze.add_argument("trace", help="trace file (see repro.trace.format)")
     analyze.add_argument("-a", "--analysis", action="append",
                          choices=ANALYSIS_NAMES,
@@ -379,9 +454,10 @@ def build_parser() -> argparse.ArgumentParser:
                               "trace lazily and feed all analyses from one "
                               "iteration (bounded memory; file must carry "
                               "the dump_trace header)")
+    add_workers(analyze, "requested analyses")
     analyze.set_defaults(func=_cmd_analyze)
 
-    compare = sub.add_parser(
+    compare = trace_parser(
         "compare",
         help="run several analyses in one pass and compare their verdicts")
     compare.add_argument("trace", nargs="?", default=None,
@@ -399,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(output is deterministic for a fixed seed)")
     compare.add_argument("--stream", action="store_true",
                          help="stream the trace file instead of loading it")
+    add_workers(compare, "compared analyses")
     compare.set_defaults(func=_cmd_compare)
 
     tables = sub.add_parser("tables", help="regenerate the paper's tables")
@@ -408,7 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
     tables.add_argument("--out", type=str, default=None)
     tables.set_defaults(func=_cmd_tables)
 
-    generate = sub.add_parser(
+    generate = trace_parser(
         "generate", help="generate a DaCapo-analog trace file")
     generate.add_argument("--program", choices=sorted(DACAPO_SPECS),
                           required=True)
@@ -428,7 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default 10)")
     generate.set_defaults(func=_cmd_generate)
 
-    serve = sub.add_parser(
+    serve = trace_parser(
         "serve",
         help="bind a socket, await one live trace feed, and report races "
              "as they are found")
@@ -454,9 +531,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-races", type=int, default=10,
                        help="dynamic races to list per analysis in the "
                             "final summary")
+    add_workers(serve, "served analyses")
     serve.set_defaults(func=_cmd_serve, memory=False)
 
-    convert = sub.add_parser(
+    convert = trace_parser(
         "convert",
         help="convert a trace between the v1 text and v2 binary formats")
     convert.add_argument("input", help="trace file in either format "
@@ -467,7 +545,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "the input's autodetected format)")
     convert.set_defaults(func=_cmd_convert)
 
-    char = sub.add_parser(
+    char = trace_parser(
         "characterize", help="Table 2-style characteristics of a trace")
     char.add_argument("trace")
     char.set_defaults(func=_cmd_characterize)

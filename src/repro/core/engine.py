@@ -430,6 +430,56 @@ class EngineSession:
                 gc.enable()
         return self.pending_races()
 
+    def feed_decoded(self, indices, kinds, tids, targets, sites, n: int,
+                     events_seen: int) -> List[tuple]:
+        """Replay one already-decoded flat chunk; return its new races.
+
+        This is the multiprocess worker entry point
+        (:mod:`repro.core.parallel`): the parallel parent decodes — and
+        same-epoch-filters — the event stream exactly once into the
+        engine's flat int chunk representation and ships the five
+        parallel arrays to each worker, whose shard session replays them
+        here, bypassing the session's own decode loop.  ``indices``
+        holds each record's global event index (records are not
+        contiguous when the parent's filter dropped events);
+        ``events_seen`` is the parent's cumulative *source* event count
+        after this chunk (filtered accesses included), which keeps
+        :attr:`events_processed` — and therefore the final reports —
+        identical to a serial pass.  ``n`` may be 0 (used by the
+        end-of-stream marker to propagate the final event count).
+
+        Analysis failures detach exactly as in :meth:`feed`; the chunk
+        arrays are never mutated.
+        """
+        if self._finished:
+            raise RuntimeError(
+                "engine session is finished; open a new session to feed "
+                "more events")
+        runner = self._runner
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            if n:
+                live = self._live
+                for entry in list(live):
+                    try:
+                        runner._replay(entry, indices, kinds, tids,
+                                       targets, sites, n)
+                    except Exception as exc:  # detach this analysis
+                        entry.failure = AnalysisFailure(
+                            entry.name, runner._failure_index(exc), exc)
+                        live.remove(entry)
+                for bank, members in self._groups:
+                    if members:
+                        runner._replay_group(bank, members, indices, kinds,
+                                             tids, targets, sites, n)
+        finally:
+            self._events_seen = events_seen
+            if gc_was_enabled:
+                gc.enable()
+        return self.pending_races()
+
     def drain(self, events: Union[Trace, Iterable[Event]],
               window: int = 4096) -> Iterator[tuple]:
         """Feed ``events`` to exhaustion in bounded windows, yielding
@@ -814,6 +864,14 @@ class MultiRunner:
         :meth:`EngineSession.close`) releases the runner for the next
         one.  Shared-HB groups are formed on the first session, exactly
         as the one-shot :meth:`run` forms them.
+
+        Example (drain a live source in bounded windows)::
+
+            runner = MultiRunner([create(n, info) for n in names])
+            session = runner.session()
+            for name, race in session.drain(source, window=256):
+                print(name, race.index)     # the moment it is found
+            result = session.finish()       # identical to one run()
         """
         if self._session_open:
             raise RuntimeError(
@@ -870,7 +928,7 @@ def run_analyses(trace: Union[Trace, TraceInfo], names: Sequence[str],
 
 def run_stream(source, names: Sequence[str], sample_every: int = 0,
                progress: Optional[Callable[[int], None]] = None,
-               window_events: int = 0) -> MultiResult:
+               window_events: int = 0, workers: int = 1) -> MultiResult:
     """Analyze a trace file (or open handle) in one streaming pass.
 
     The trace — v1 text or v2 binary, autodetected from the leading
@@ -885,9 +943,21 @@ def run_stream(source, names: Sequence[str], sample_every: int = 0,
     loop consumes a socket — instead of one uninterrupted feed.
     Reports are identical either way; the knob exists to measure the
     online path against the one-shot pass on the same capture.
+
+    ``workers`` > 1 shards the analyses across that many worker
+    processes (:class:`repro.core.parallel.ParallelRunner`): the parent
+    still parses the file exactly once, and the merged reports are
+    bit-identical to the in-process pass.  ``progress`` is not
+    supported on the sharded path.
     """
     from repro.trace.format import stream_trace
 
+    if workers > 1:
+        from repro.core.parallel import run_parallel
+
+        return run_parallel(source, names, workers=workers,
+                            sample_every=sample_every,
+                            window_events=window_events)
     stream = stream_trace(source)
     info = stream.require_info()
     if window_events > 0:

@@ -1,0 +1,847 @@
+"""Multiprocess analysis sharding: one decode, N worker processes.
+
+The single-pass engine (:class:`repro.core.engine.MultiRunner`) made one
+Python process beat sequential replay, but the GIL caps the whole
+11-analysis configuration at one core.  SmartTrack-style multi-tier runs
+are embarrassingly parallel across the *analysis* axis — every tier
+consumes the same decoded event stream independently — so
+:class:`ParallelRunner` shards the co-scheduled analysis set across
+worker processes instead of sharding the event stream across them
+(chunk-parallel sharding would need cross-chunk vector-clock handoff;
+see DESIGN.md §6.1):
+
+* **one decode** — the parent iterates the event source exactly once,
+  decoding each event into the engine's flat int chunk representation
+  (five parallel ``int64`` arrays: index, kind, tid, target, site) and
+  applying the shared same-epoch filter once for everybody, exactly as
+  a serial :class:`~repro.core.engine.EngineSession` would;
+* **shared-memory broadcast** — each decoded chunk is copied into a
+  per-worker single-producer/single-consumer ring buffer in
+  :mod:`multiprocessing.shared_memory` (semaphore flow control, no
+  pickling on the hot path); platforms without POSIX shared memory fall
+  back to a pickled-queue transport (``REPRO_PARALLEL_TRANSPORT``
+  forces either for testing);
+* **family-aware shards** — the pure-HB tier stays together and the
+  WCP family stays together, so the engine's shared-HB-bank fusion
+  (DESIGN.md §3) keeps working *within* a shard; the independent
+  DC/WDC analyses are spread to balance load (:func:`plan_shards`);
+* **private engine per worker** — each worker runs an ordinary
+  :class:`~repro.core.engine.MultiRunner` session over its shard
+  (entering via :meth:`~repro.core.engine.EngineSession.feed_decoded`)
+  and ships ``(analysis_name, RaceRecord)`` batches plus per-analysis
+  reports back over a result queue, so races stream out of
+  :meth:`ParallelSession.drain` the moment a worker finds them;
+* **failure isolation** — an analysis that raises inside a worker is
+  detached by that worker's engine exactly as in a serial pass; a
+  worker process that *dies* maps onto the same detach semantics (every
+  analysis of the dead shard becomes an
+  :class:`~repro.core.engine.AnalysisFailure`, the survivors keep
+  their reports, and the CLI's documented partial-summary exit-2 path
+  fires).  Reports are bit-identical to serial runs either way — the
+  differential fuzz sweep asserts it across randomized worker counts.
+
+Quick use::
+
+    from repro.core.parallel import ParallelRunner
+    result = ParallelRunner(["st-wdc", "fto-hb"], trace, workers=2).run(trace)
+    result.report("st-wdc").dynamic_count
+
+The CLI surface is ``repro analyze/compare/serve --workers N`` and
+``measure_stream(..., workers=N)``; ``benchmarks/bench_parallel.py``
+records the scaling curve.
+"""
+
+from __future__ import annotations
+
+import os
+import queue as queue_module
+import traceback
+from array import array
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.clocks.epoch import MAX_TID, TID_BITS
+from repro.core.engine import _EPOCH_ENDERS, AnalysisFailure, MultiResult
+from repro.core.registry import ANALYSIS_NAMES, create, relation_of
+from repro.trace.event import Event
+from repro.trace.trace import Trace, TraceInfo
+
+#: Ring slots per worker: enough to pipeline parent decode against
+#: worker replay without unbounded buffering.
+RING_SLOTS = 4
+
+#: Slot header words: [0] event count (-1 = end of stream), [1] the
+#: parent's cumulative source-event count after this chunk.
+_HEADER_WORDS = 2
+_WORD = 8  # bytes per int64 slot word
+
+
+class WorkerDied(RuntimeError):
+    """A worker process exited without delivering its shard's reports."""
+
+
+class RemoteAnalysisError(RuntimeError):
+    """An analysis failure reconstructed from a worker process.
+
+    The original exception may not be picklable, so workers ship its
+    ``repr``; this wrapper carries it across the process boundary while
+    keeping the parent-side detach semantics
+    (:class:`~repro.core.engine.AnalysisFailure`) unchanged.
+    """
+
+
+class ShardEntry:
+    """Parent-side slot for one analysis that ran in a worker process.
+
+    Mirrors the attribute surface :class:`~repro.core.engine.MultiResult`
+    reads from :class:`~repro.core.engine.EngineEntry` (``name``,
+    ``report``, ``failure``), without holding an analysis instance —
+    the instance lives (and dies) in the worker.
+    """
+
+    __slots__ = ("name", "report", "failure", "shard")
+
+    def __init__(self, name: str, shard: int):
+        self.name = name
+        self.shard = shard
+        self.report = None
+        self.failure: Optional[AnalysisFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+def plan_shards(names: Sequence[str], workers: int) -> List[List[int]]:
+    """Family-aware shard assignment: positions of ``names`` per worker.
+
+    Policy (DESIGN.md §6.2): the pure-HB tier (relation ``hb``) is
+    placed as one atomic group, and the WCP family (relation ``wcp``)
+    as another, so the engine's shared-clock-bank fusion keeps paying
+    off inside a shard; the remaining analyses (DC/WDC tiers, which
+    share nothing) are spread one by one onto the least-loaded shard.
+    ``workers`` is clamped to ``len(names)``; shards left empty by
+    atomic-group placement are dropped, so every returned shard is
+    non-empty.
+
+    >>> plan_shards(["unopt-hb", "fto-hb", "st-wcp", "st-dc"], 8)
+    [[0, 1], [2], [3]]
+    """
+    workers = max(1, min(workers, len(names)))
+    hb: List[int] = []
+    wcp: List[int] = []
+    rest: List[int] = []
+    for pos, name in enumerate(names):
+        rel = relation_of(name)
+        (hb if rel == "hb" else wcp if rel == "wcp" else rest).append(pos)
+    shards: List[List[int]] = [[] for _ in range(workers)]
+
+    def lightest() -> List[int]:
+        return min(shards, key=len)
+
+    for group in sorted((hb, wcp), key=len, reverse=True):
+        if group:
+            lightest().extend(group)
+    for pos in rest:
+        lightest().append(pos)
+    return [shard for shard in shards if shard]
+
+
+def _transport_kind() -> str:
+    forced = os.environ.get("REPRO_PARALLEL_TRANSPORT", "")
+    if forced in ("shm", "pickle"):
+        return forced
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - exotic platforms
+        return "pickle"
+    return "shm"
+
+
+def _mp_context():
+    """The start method for worker processes.
+
+    ``fork`` is preferred: workers inherit the parent's imported modules
+    (no re-import cost per run) and the transport primitives directly.
+    Platforms without it (Windows) use ``spawn`` — the worker main and
+    every argument it takes are top-level/picklable for exactly that
+    reason.
+    """
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+# ---------------------------------------------------------------------------
+# chunk transports (parent -> worker)
+# ---------------------------------------------------------------------------
+
+class _ShmRing:
+    """Parent side of one worker's shared-memory chunk ring.
+
+    A fixed number of slots in a single ``SharedMemory`` segment; each
+    slot is a 2-word header plus five ``chunk_events``-long int64
+    columns.  Flow control is two semaphores (classic bounded buffer):
+    the parent acquires ``free``, memcpys the chunk columns in, and
+    releases ``filled``; the worker does the mirror image.  Single
+    producer, single consumer, so slot indices advance locally on each
+    side with no shared cursor.
+    """
+
+    def __init__(self, ctx, chunk_events: int):
+        from multiprocessing import shared_memory
+
+        self.chunk_events = chunk_events
+        self.slot_words = _HEADER_WORDS + 5 * chunk_events
+        self.shm = shared_memory.SharedMemory(
+            create=True, size=RING_SLOTS * self.slot_words * _WORD)
+        self.free = ctx.Semaphore(RING_SLOTS)
+        self.filled = ctx.Semaphore(0)
+        self._words = memoryview(self.shm.buf).cast("q")
+        self._slot = 0
+
+    def worker_args(self) -> tuple:
+        return ("shm", self.shm.name, self.chunk_events, self.free,
+                self.filled)
+
+    def put(self, bufs, n: int, events_seen: int, alive) -> None:
+        """Publish one chunk; raises :class:`WorkerDied` if the consumer
+        is gone (a full ring that never drains would block forever)."""
+        while not self.free.acquire(timeout=0.2):
+            if not alive():
+                raise WorkerDied("worker stopped draining its chunk ring")
+        words = self._words
+        base = self._slot * self.slot_words
+        words[base] = n
+        words[base + 1] = events_seen
+        off = base + _HEADER_WORDS
+        for buf in bufs:
+            if n > 0:
+                words[off:off + n] = memoryview(buf)[:n]
+            off += self.chunk_events
+        self._slot = (self._slot + 1) % RING_SLOTS
+        self.filled.release()
+
+    def close(self) -> None:
+        self._words.release()
+        self.shm.close()
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+
+class _ShmRingReader:
+    """Worker side of the ring: attach by name, drain slots."""
+
+    def __init__(self, shm_name: str, chunk_events: int, free, filled):
+        from multiprocessing import shared_memory
+
+        # Workers share the parent's resource-tracker process, so this
+        # attach's duplicate registration is a set no-op there and the
+        # parent's single unlink retires the segment cleanly; do NOT
+        # unregister here (a second unregister would KeyError in the
+        # tracker when the parent unlinks).
+        self.shm = shared_memory.SharedMemory(name=shm_name)
+        self.chunk_events = chunk_events
+        self.slot_words = _HEADER_WORDS + 5 * chunk_events
+        self.free = free
+        self.filled = filled
+        self._words = memoryview(self.shm.buf).cast("q")
+        self._slot = 0
+
+    def get(self) -> tuple:
+        """The next ``(n, events_seen, columns)`` chunk (blocking).
+
+        The five columns are copied out (``tolist``) before the slot is
+        recycled, so the parent may overwrite it immediately.
+        """
+        self.filled.acquire()
+        words = self._words
+        base = self._slot * self.slot_words
+        n = words[base]
+        events_seen = words[base + 1]
+        cols = []
+        off = base + _HEADER_WORDS
+        for _ in range(5):
+            cols.append(words[off:off + n].tolist() if n > 0 else [])
+            off += self.chunk_events
+        self._slot = (self._slot + 1) % RING_SLOTS
+        self.free.release()
+        return n, events_seen, cols
+
+    def close(self) -> None:
+        self._words.release()
+        self.shm.close()
+
+
+class _PickleChannel:
+    """Fallback transport: a bounded queue of pickled chunk columns."""
+
+    def __init__(self, ctx, chunk_events: int):
+        self.chunk_events = chunk_events
+        self.q = ctx.Queue(maxsize=RING_SLOTS)
+
+    def worker_args(self) -> tuple:
+        return ("pickle", self.q)
+
+    def put(self, bufs, n: int, events_seen: int, alive) -> None:
+        payload = (n, events_seen,
+                   [memoryview(buf)[:n].tolist() if n > 0 else []
+                    for buf in bufs])
+        while True:
+            try:
+                self.q.put(payload, timeout=0.2)
+                return
+            except queue_module.Full:
+                if not alive():
+                    raise WorkerDied(
+                        "worker stopped draining its chunk queue")
+
+    def close(self) -> None:
+        self.q.close()
+        self.q.cancel_join_thread()
+
+
+class _PickleChannelReader:
+    def __init__(self, q):
+        self.q = q
+
+    def get(self) -> tuple:
+        return self.q.get()
+
+    def close(self) -> None:
+        pass
+
+
+def _attach_transport(args):
+    if args[0] == "shm":
+        return _ShmRingReader(*args[1:])
+    return _PickleChannelReader(args[1])
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+def _worker_main(shard_id: int, names: Sequence[str], info_dims: tuple,
+                 transport_args: tuple, result_q, sample_every: int,
+                 chunk_events: int, crash_after: Optional[int]) -> None:
+    """One worker: a private engine session over this shard's analyses.
+
+    Drains decoded chunks from the transport until the end-of-stream
+    marker, replaying each through
+    :meth:`~repro.core.engine.EngineSession.feed_decoded`, and ships
+    ``("races", shard_id, [(name, RaceRecord), ...])`` batches as races
+    are found, then one ``("done", shard_id, [(report, failure), ...])``
+    with the shard's sealed per-analysis results (entry order = shard
+    order).  A worker-level crash ships ``("fatal", shard_id,
+    traceback)`` when it still can; a hard death (kill, crashed
+    interpreter) is detected by the parent via the process exit code.
+
+    ``crash_after`` is a test hook: hard-exit (``os._exit``) after that
+    many chunks, simulating a worker dying mid-stream.
+    """
+    from repro.core.engine import MultiRunner
+
+    rx = None
+    try:
+        info = TraceInfo(*info_dims)
+        runner = MultiRunner([create(name, info) for name in names],
+                             sample_every=sample_every,
+                             chunk_events=chunk_events)
+        session = runner.session()
+        rx = _attach_transport(transport_args)
+        chunks = 0
+        while True:
+            n, events_seen, cols = rx.get()
+            if n < 0:
+                session.feed_decoded([], [], [], [], [], 0, events_seen)
+                break
+            races = session.feed_decoded(cols[0], cols[1], cols[2],
+                                         cols[3], cols[4], n, events_seen)
+            if races:
+                result_q.put(("races", shard_id, races))
+            chunks += 1
+            if crash_after is not None and chunks >= crash_after:
+                os._exit(70)
+        result = session.finish()
+        done = []
+        for entry in result.entries:
+            if entry.failure is None:
+                done.append((entry.report, None))
+            else:
+                done.append((None, (entry.failure.event_index,
+                                    repr(entry.failure.error))))
+        result_q.put(("done", shard_id, done))
+    except BaseException:  # noqa: BLE001 - report, then die visibly
+        try:
+            result_q.put(("fatal", shard_id, traceback.format_exc()))
+        except Exception:  # pragma: no cover - queue already broken
+            pass
+    finally:
+        if rx is not None:
+            rx.close()
+
+
+# ---------------------------------------------------------------------------
+# parent
+# ---------------------------------------------------------------------------
+
+class _Shard:
+    """Parent-side bookkeeping for one worker process."""
+
+    __slots__ = ("id", "positions", "tx", "proc", "alive", "done",
+                 "silent_polls")
+
+    def __init__(self, shard_id: int, positions: List[int], tx, proc):
+        self.id = shard_id
+        self.positions = positions
+        self.tx = tx
+        self.proc = proc
+        self.alive = True   # still being fed
+        self.done = False   # delivered its "done"/"fatal" message
+        self.silent_polls = 0
+
+
+class ParallelSession:
+    """An in-flight :class:`ParallelRunner` pass.
+
+    Mirrors the serving subset of
+    :class:`~repro.core.engine.EngineSession`: :meth:`drain` consumes
+    the event source to exhaustion, yielding ``(analysis_name,
+    RaceRecord)`` pairs the moment a worker reports them, and
+    :meth:`finish` merges the per-shard reports into one
+    :class:`~repro.core.engine.MultiResult`.  When the *source* raises
+    mid-stream (malformed live feed, read timeout), the already-decoded
+    events are flushed to the workers, their results are collected, the
+    races they found are yielded, and then the error propagates — the
+    session can still :meth:`finish` for the partial summary, exactly
+    like the serial session.
+
+    Ordering: each analysis' races arrive in event order (each lives in
+    exactly one worker), but interleaving *across* shards follows worker
+    scheduling, so cross-analysis arrival order is unspecified — unlike
+    the serial session's globally index-sorted stream.  The merged
+    reports are unaffected.
+    """
+
+    def __init__(self, runner: "ParallelRunner"):
+        self._runner = runner
+        self._finished = False
+        self._collected = False
+        chunk = runner.chunk_events
+        self._bufs = tuple(array("q", bytes(8 * chunk)) for _ in range(5))
+        # shared same-epoch filter state (see EngineSession.feed)
+        self._toks: Dict[int, int] = {}
+        self._last_r: Dict[int, int] = {}
+        self._last_w: Dict[int, int] = {}
+        self._i = -1
+        self.entries = [ShardEntry(name, -1) for name in runner.names]
+        ctx = _mp_context()
+        self._results = ctx.Queue()
+        self._shards: List[_Shard] = []
+        kind = _transport_kind()
+        info = runner.info
+        info_dims = (info.num_threads, info.num_locks, info.num_vars,
+                     info.num_volatiles, info.num_classes, info.num_events)
+        try:
+            for shard_id, positions in enumerate(runner.shards):
+                tx = (_ShmRing(ctx, chunk) if kind == "shm"
+                      else _PickleChannel(ctx, chunk))
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(shard_id, [runner.names[p] for p in positions],
+                          info_dims, tx.worker_args(), self._results,
+                          runner.sample_every, chunk,
+                          runner._crash_after.get(shard_id)),
+                    daemon=True)
+                shard = _Shard(shard_id, positions, tx, proc)
+                for p in positions:
+                    self.entries[p].shard = shard_id
+                self._shards.append(shard)
+                proc.start()
+        except BaseException:
+            self._teardown()
+            raise
+
+    def _entries_at(self, positions: List[int]) -> List[ShardEntry]:
+        return [self.entries[p] for p in positions]
+
+    @property
+    def events_processed(self) -> int:
+        """Source events decoded so far (filtered accesses included)."""
+        return self._i + 1
+
+    # -- decode (parent side) ---------------------------------------------
+    def _fill_chunk(self, source: Iterator[Event], limit: int):
+        """Decode up to ``limit`` events into the flat column buffers.
+
+        Same decode-plus-shared-same-epoch-filter loop as
+        :meth:`EngineSession.feed`, writing int64 array columns instead
+        of lists so a chunk can be memcpy'd into the worker rings.
+        Returns ``(n, exhausted, source_error)`` — on a source error the
+        events decoded so far are kept (the caller flushes them to the
+        workers before re-raising, mirroring the serial session).
+        """
+        i = self._i
+        n = 0
+        exhausted = False
+        err: Optional[BaseException] = None
+        idx_b, kind_b, tid_b, tgt_b, site_b = self._bufs
+        toks = self._toks
+        last_r = self._last_r
+        last_w = self._last_w
+        toks_get = toks.get
+        last_r_get = last_r.get
+        last_w_get = last_w.get
+        epoch_enders = _EPOCH_ENDERS
+        try:
+            if self._runner._filter_on:
+                for e in source:
+                    i += 1
+                    k = e.kind
+                    t = e.tid
+                    x = e.target
+                    if k <= 1:  # READ/WRITE: shared same-epoch filter
+                        tok = toks_get(t, t)
+                        if k == 0:
+                            if last_r_get(x) == tok:
+                                continue  # no-op in every analysis
+                            last_r[x] = tok
+                        else:
+                            if last_w_get(x) == tok:
+                                continue  # no-op in every analysis
+                            last_w[x] = tok
+                            if x in last_r:
+                                del last_r[x]
+                    elif epoch_enders[k]:
+                        toks[t] = toks_get(t, t) + (1 << TID_BITS)
+                    idx_b[n] = i
+                    kind_b[n] = k
+                    tid_b[n] = t
+                    tgt_b[n] = x
+                    site_b[n] = e.site
+                    n += 1
+                    if n == limit:
+                        break
+                else:
+                    exhausted = True
+            else:
+                for e in source:
+                    i += 1
+                    idx_b[n] = i
+                    kind_b[n] = e.kind
+                    tid_b[n] = e.tid
+                    targ = e.target
+                    tgt_b[n] = targ
+                    site_b[n] = e.site
+                    n += 1
+                    if n == limit:
+                        break
+                else:
+                    exhausted = True
+        except BaseException as exc:
+            err = exc
+        self._i = i
+        return n, exhausted, err
+
+    # -- worker I/O --------------------------------------------------------
+    def _live_shards(self) -> List[_Shard]:
+        return [s for s in self._shards if s.alive]
+
+    def _mark_dead(self, shard: _Shard, why: str) -> None:
+        shard.alive = False
+        shard.done = True
+        exit_code = shard.proc.exitcode
+        for entry in self._entries_at(shard.positions):
+            if entry.failure is None and entry.report is None:
+                entry.failure = AnalysisFailure(
+                    entry.name, -1,
+                    WorkerDied("{} (exit code {})".format(why, exit_code)))
+
+    def _broadcast(self, n: int) -> None:
+        events_seen = self._i + 1
+        for shard in self._live_shards():
+            try:
+                shard.tx.put(self._bufs, n, events_seen,
+                             alive=shard.proc.is_alive)
+            except WorkerDied:
+                self._mark_dead(shard, "worker process died mid-stream")
+
+    def _handle(self, msg, pending: List[tuple]) -> None:
+        kind, shard_id, payload = msg
+        shard = self._shards[shard_id]
+        if kind == "races":
+            pending.extend(payload)
+        elif kind == "done":
+            shard.done = True
+            shard.alive = False
+            for entry, (report, failure) in zip(
+                    self._entries_at(shard.positions), payload):
+                if failure is None:
+                    entry.report = report
+                else:
+                    event_index, err_repr = failure
+                    entry.failure = AnalysisFailure(
+                        entry.name, event_index,
+                        RemoteAnalysisError(err_repr))
+        else:  # "fatal": the worker loop itself crashed
+            shard.done = True
+            shard.alive = False
+            for entry in self._entries_at(shard.positions):
+                if entry.failure is None and entry.report is None:
+                    entry.failure = AnalysisFailure(
+                        entry.name, -1, RemoteAnalysisError(payload))
+
+    def _poll_results(self, pending: List[tuple]) -> None:
+        """Drain every result message currently queued (non-blocking)."""
+        while True:
+            try:
+                msg = self._results.get_nowait()
+            except queue_module.Empty:
+                return
+            self._handle(msg, pending)
+
+    def _collect(self, pending: List[tuple]) -> None:
+        """Block until every shard delivered its results or died.
+
+        A worker that exited without a ``done``/``fatal`` message (hard
+        kill, interpreter abort) is declared dead after a short grace
+        period that lets an already-queued message flush through the
+        result pipe.
+        """
+        if self._collected:
+            return
+        self._collected = True
+        self._broadcast(-1)  # end-of-stream marker, final event count
+        while any(not s.done for s in self._shards):
+            try:
+                msg = self._results.get(timeout=0.2)
+            except queue_module.Empty:
+                for shard in self._shards:
+                    if shard.done or shard.proc.is_alive():
+                        continue
+                    shard.silent_polls += 1
+                    if shard.silent_polls >= 10:
+                        self._mark_dead(
+                            shard, "worker process exited without results")
+                continue
+            self._handle(msg, pending)
+
+    # -- driving -----------------------------------------------------------
+    def drain(self, events: Union[Trace, Iterable[Event]],
+              window: int = 0) -> Iterator[tuple]:
+        """Feed ``events`` to exhaustion, yielding each ``(analysis_name,
+        RaceRecord)`` pair as a worker reports it.
+
+        ``window`` caps how many events are decoded before a chunk is
+        broadcast (default: the runner's ``chunk_events``); smaller
+        windows surface races sooner, exactly like the serial session's
+        drain window.  On a source error the decoded prefix is flushed,
+        every worker's results are collected and yielded, and then the
+        error propagates with the session still :meth:`finish`-able.
+        """
+        if self._finished:
+            raise RuntimeError("parallel session is finished")
+        source = iter(events.events if isinstance(events, Trace)
+                      else events)
+        limit = min(window, self._runner.chunk_events) if window > 0 \
+            else self._runner.chunk_events
+        pending: List[tuple] = []
+        while True:
+            n, exhausted, err = self._fill_chunk(source, limit)
+            if n:
+                self._broadcast(n)
+            self._poll_results(pending)
+            while pending:
+                yield pending.pop(0)
+            if err is not None:
+                self._collect(pending)
+                while pending:
+                    yield pending.pop(0)
+                raise err
+            if exhausted:
+                break
+        self._collect(pending)
+        while pending:
+            yield pending.pop(0)
+
+    def finish(self) -> MultiResult:
+        """Seal the pass and merge per-shard results.
+
+        Returns a :class:`~repro.core.engine.MultiResult` whose entries
+        are ordered like the runner's analysis names; analyses of a
+        shard that died carry an :class:`~repro.core.engine.AnalysisFailure`
+        (so ``result.ok`` is False — the CLI's partial-summary exit-2
+        path).  Reports of surviving shards are bit-identical to a
+        serial run over the same events.
+        """
+        if self._finished:
+            raise RuntimeError("parallel session is already finished")
+        if not self._collected:
+            # finish() without a full drain (e.g. after a source error
+            # handled by the caller): collect whatever the workers have
+            leftovers: List[tuple] = []
+            self._collect(leftovers)
+        self._finished = True
+        self._teardown()
+        self._runner._session_open = False
+        return MultiResult(self.entries, self.events_processed)
+
+    def close(self) -> None:
+        """Abandon the pass: kill workers, release transports."""
+        self._finished = True
+        self._teardown()
+        self._runner._session_open = False
+
+    def _teardown(self) -> None:
+        for shard in self._shards:
+            if shard.proc.is_alive():
+                shard.proc.terminate()
+        for shard in self._shards:
+            if shard.proc.pid is not None:
+                shard.proc.join(timeout=5)
+        for shard in self._shards:
+            try:
+                shard.tx.close()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+        self._results.close()
+        self._results.cancel_join_thread()
+
+
+class ParallelRunner:
+    """Run N analyses sharded across worker processes, one decode total.
+
+    The constructor takes analysis *names* (not instances — instances
+    are created inside each worker, where they stay) plus the trace
+    dimensions; :meth:`run` is the one-shot pass and :meth:`session`
+    the incremental/serving one.
+
+    >>> from repro.workloads import figure1
+    >>> trace = figure1()
+    >>> runner = ParallelRunner(["fto-hb", "st-wdc"], trace, workers=2)
+    >>> result = runner.run(trace)
+    >>> result.ok and result.report("st-wdc").dynamic_count
+    1
+
+    Parameters
+    ----------
+    names:
+        Registry analysis names (see
+        :data:`repro.core.registry.ANALYSIS_NAMES`); duplicates allowed.
+    info:
+        A :class:`~repro.trace.trace.Trace` or
+        :class:`~repro.trace.trace.TraceInfo` carrying the dimensions.
+    workers:
+        Worker process count; clamped to ``len(names)``, and the
+        family-aware shard plan (:func:`plan_shards`) may use fewer when
+        atomic family groups leave shards empty.
+    sample_every:
+        Per-analysis footprint sampling cadence, as in
+        :class:`~repro.core.engine.MultiRunner` (sampling runs inside
+        the workers; it disables the parent's same-epoch filter exactly
+        as it does in the serial engine).
+    chunk_events:
+        Decode/broadcast chunk size; also the unit of shared-memory
+        slot sizing (five int64 columns of this length per slot).
+    """
+
+    def __init__(self, names: Sequence[str], info: Union[Trace, TraceInfo],
+                 workers: int = 2, sample_every: int = 0,
+                 chunk_events: int = 8192,
+                 _crash_after: Optional[Dict[int, int]] = None):
+        self.names = list(names)
+        if not self.names:
+            raise ValueError("ParallelRunner needs at least one analysis")
+        for name in self.names:
+            if name not in ANALYSIS_NAMES:
+                raise ValueError(
+                    "unknown analysis {!r}; choose from {}".format(
+                        name, ", ".join(ANALYSIS_NAMES)))
+        self.info = TraceInfo.of(info) if isinstance(info, Trace) else info
+        if self.info.num_threads > MAX_TID + 1:
+            raise ValueError(
+                "trace declares {} threads; packed epochs support at most "
+                "{} (TID_BITS={})".format(self.info.num_threads,
+                                          MAX_TID + 1, TID_BITS))
+        self.workers = max(1, min(int(workers), len(self.names)))
+        self.shards = plan_shards(self.names, self.workers)
+        self.sample_every = sample_every
+        self.chunk_events = max(chunk_events, 1)
+        # The parent applies the engine's shared same-epoch filter once
+        # for every worker; legal under exactly the serial conditions
+        # (every analysis declares the fast-path semantics, no sampling).
+        probe = TraceInfo(num_threads=1)
+        self._filter_on = (sample_every == 0
+                           and all(create(name, probe).SAME_EPOCH_SKIP
+                                   for name in set(self.names)))
+        self._crash_after = _crash_after or {}
+        self._session_open = False
+
+    def session(self) -> ParallelSession:
+        """Open an incremental pass (spawns the worker processes).
+
+        Exactly one session may be open per runner; it is released by
+        :meth:`ParallelSession.finish` or
+        :meth:`ParallelSession.close`.
+        """
+        if self._session_open:
+            raise RuntimeError(
+                "another parallel session over these analyses is still "
+                "open; finish() or close() it first")
+        self._session_open = True
+        try:
+            return ParallelSession(self)
+        except BaseException:
+            self._session_open = False
+            raise
+
+    def run(self, events: Union[Trace, Iterable[Event]]) -> MultiResult:
+        """One sharded pass over ``events``; returns the merged result.
+
+        ``events`` may be a :class:`~repro.trace.trace.Trace` or any
+        iterable of events (e.g. a lazily-parsed
+        :class:`~repro.trace.format.TraceStream`) — it is iterated
+        exactly once, in the parent.
+        """
+        session = self.session()
+        try:
+            for _ in session.drain(events):
+                pass
+        except BaseException:
+            session.close()
+            raise
+        return session.finish()
+
+
+def run_parallel(source, names: Sequence[str], workers: int,
+                 sample_every: int = 0,
+                 window_events: int = 0) -> MultiResult:
+    """Analyze a trace file (or open handle) with sharded workers.
+
+    The parallel counterpart of :func:`repro.core.engine.run_stream`:
+    the trace — v1 text or v2 binary, autodetected — is parsed lazily
+    in the parent and broadcast to ``workers`` analysis shards.  The
+    file must declare its dimensions up front (both formats written by
+    :func:`repro.trace.format.dump_trace` do).  ``window_events`` > 0
+    caps the broadcast chunk size (the serving-loop granularity knob).
+    """
+    from repro.trace.format import stream_trace
+
+    # everything after the open lives inside the with: a bad analysis
+    # name or hostile header dimensions must not leak the descriptor
+    with stream_trace(source) as stream:
+        info = stream.require_info()
+        runner = ParallelRunner(names, info, workers=workers,
+                                sample_every=sample_every)
+        session = runner.session()
+        try:
+            for _ in session.drain(stream, window=window_events):
+                pass
+        except BaseException:
+            session.close()
+            raise
+        return session.finish()

@@ -1,6 +1,6 @@
 """Experiment harness: timing/memory measurement, statistics, and builders
 that regenerate every table of the paper's evaluation (Tables 2–7 and the
-appendix Tables 8–12).  See DESIGN.md §6 for the experiment index.
+appendix Tables 8–12).  See DESIGN.md §7 for the experiment index.
 """
 
 from repro.harness.measure import MeasureResult, Measurements, uninstrumented_time

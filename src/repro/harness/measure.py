@@ -148,7 +148,8 @@ def measure_multi(trace: Trace, analysis_names: Sequence[str],
 def measure_stream(source, analysis_names: Sequence[str],
                    program: str = "",
                    sample_every: int = 4096,
-                   window_events: int = 0) -> MultiMeasureResult:
+                   window_events: int = 0,
+                   workers: int = 1) -> MultiMeasureResult:
     """Time one bounded-memory streaming pass over a recorded trace file.
 
     ``source`` is a path or open handle in either trace format (v1 text
@@ -163,11 +164,18 @@ def measure_stream(source, analysis_names: Sequence[str],
     serve`` loop drains a socket.  Reports are identical either way;
     the knob exists to measure the online path's overhead against the
     one-shot pass on the same capture.
+
+    ``workers`` > 1 shards the analyses across worker processes
+    (:class:`repro.core.parallel.ParallelRunner`); ``seconds`` then
+    covers the whole sharded pass — parent parse + decode, broadcast,
+    worker replay, and report merge — which is what
+    ``benchmarks/bench_parallel.py`` compares against the in-process
+    pass.
     """
     names = list(analysis_names)
     t0 = time.perf_counter()
     result = run_stream(source, names, sample_every=sample_every,
-                        window_events=window_events)
+                        window_events=window_events, workers=workers)
     seconds = time.perf_counter() - t0
     return MultiMeasureResult(
         program=program, analyses=names, events=result.events_processed,

@@ -308,6 +308,13 @@ def stream_trace(source: Union[TextIO, BinaryIO, str]) -> TraceStreamBase:
     binary content in a text handle fails to decode anyway).  Both
     readers honor the contract documented on
     :class:`repro.trace.stream.TraceStreamBase`.
+
+    Example (bounded-memory walk over a capture in either format)::
+
+        with repro.stream_trace("recorded.trace") as stream:
+            info = stream.require_info()    # header-carried dimensions
+            for event in stream:            # parsed lazily, one shot
+                ...
     """
     from repro.trace import binfmt
 

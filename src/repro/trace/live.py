@@ -187,6 +187,13 @@ class PipeTraceSource(LiveTraceSource):
     ``timeout`` bounds every read: a producer that connects but stops
     writing raises :class:`TimeoutError` instead of stalling the
     analysis (the descriptor is closed either way).
+
+    Example (analyze a recorder writing to a FIFO)::
+
+        os.mkfifo("/tmp/repro.fifo")
+        with PipeTraceSource("/tmp/repro.fifo", timeout=30) as source:
+            result = MultiRunner(
+                [create("st-wdc", source.require_info())]).run(source)
     """
 
     def __init__(self, source: Union[str, int, io.RawIOBase],
@@ -291,6 +298,18 @@ class TraceListener:
     the real port back), and :meth:`accept` then enforces the
     one-producer contract: the listening socket closes as soon as the
     connection lands, so any later connect is refused instead of queued.
+
+    Example (one live analysis session over a Unix socket)::
+
+        listener = TraceListener("/tmp/repro.sock")
+        source = listener.accept(timeout=30)   # SocketTraceSource
+        with source:
+            info = source.require_info()
+            session = MultiRunner(
+                [create("st-wdc", info)]).session()
+            for name, race in session.drain(source, window=256):
+                print(name, race.index)
+            result = session.finish()
     """
 
     def __init__(self, spec: str, backlog: int = 1):
@@ -510,6 +529,17 @@ def send_events(dims: Union[Trace, TraceInfo], events, spec: str,
 
 def send_trace(trace: Trace, spec: str, binary: bool = True,
                connect_timeout: Optional[float] = 10.0) -> int:
-    """Stream a materialized trace to a waiting live endpoint."""
+    """Stream a materialized trace to a waiting live endpoint.
+
+    The producer half of the online workflow (``repro generate
+    --to-socket`` uses it); returns the number of events sent.
+    ``spec`` is a Unix socket path or ``HOST:PORT``.
+
+    Example (feed a ``repro serve`` session from another thread)::
+
+        threading.Thread(
+            target=send_trace, args=(trace, "/tmp/repro.sock"),
+            daemon=True).start()
+    """
     return send_events(trace, trace.events, spec, binary=binary,
                        connect_timeout=connect_timeout)

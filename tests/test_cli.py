@@ -223,13 +223,15 @@ class TestConvert:
         assert main(["convert", binary, text]) == 0
         assert "binary -> text" in capsys.readouterr().out
 
-    def test_explicit_to_same_format_normalizes(self, fig1_path, tmp_path,
-                                                capsys):
+    def test_explicit_to_same_format_rejected(self, fig1_path, tmp_path,
+                                              capsys):
+        # a same-format "conversion" is almost always a mixed-up --to;
+        # refuse with a clear message instead of silently rewriting
         copy = str(tmp_path / "copy.trace")
-        assert main(["convert", fig1_path, copy, "--to", "text"]) == 0
-        capsys.readouterr()
-        with open(fig1_path, "rb") as a, open(copy, "rb") as b:
-            assert a.read() == b.read()
+        assert main(["convert", fig1_path, copy, "--to", "text"]) == 2
+        err = capsys.readouterr().err
+        assert "already in the text format" in err
+        assert not os.path.exists(copy)
 
     def test_headerless_text_converts(self, tmp_path, capsys):
         src = tmp_path / "raw.trace"
@@ -647,3 +649,90 @@ class TestServe:
                      "-o", str(tmp_path / "x.trace"),
                      "--to-socket", "x.sock"]) == 2
         assert "exactly one" in capsys.readouterr().err
+
+
+class TestWorkers:
+    """The --workers flag: multiprocess sharding behind the same CLI."""
+
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("workers") / "w.trace")
+        assert main(["generate", "--program", "xalan", "--scale", "0.05",
+                     "-o", path]) == 0
+        return path
+
+    def test_analyze_output_identical_to_serial(self, trace_path, capsys):
+        serial_code = main(["analyze", trace_path,
+                            "-a", "st-wdc", "-a", "fto-hb"])
+        serial_out = capsys.readouterr().out
+        workers_code = main(["analyze", trace_path, "--workers", "2",
+                             "-a", "st-wdc", "-a", "fto-hb"])
+        workers_out = capsys.readouterr().out
+        assert workers_code == serial_code == 1
+        assert workers_out == serial_out
+
+    def test_analyze_stream_workers(self, trace_path, capsys):
+        code = main(["analyze", trace_path, "--stream", "--workers", "3",
+                     "-a", "st-wdc", "-a", "fto-hb", "-a", "unopt-dc"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert out.count("dynamic race(s)") == 3
+
+    def test_compare_workers_hierarchy_intact(self, trace_path, capsys):
+        serial_code = main(["compare", trace_path])
+        serial_out = capsys.readouterr().out
+        code = main(["compare", trace_path, "--workers", "4"])
+        out = capsys.readouterr().out
+        assert code == serial_code
+        assert out == serial_out
+        assert "hierarchy hb <= wcp <= dc <= wdc: OK" in out
+
+    def test_serve_workers_round_trip(self, trace_path, tmp_path, capsys):
+        expected_code = main(["analyze", trace_path,
+                              "-a", "st-wdc", "-a", "fto-hb"])
+        expected = capsys.readouterr().out
+        trace = load_trace(trace_path)
+        addr = str(tmp_path / "pw.sock")
+        sender = threading.Thread(target=send_trace, args=(trace, addr),
+                                  daemon=True)
+        sender.start()
+        code = main(["serve", addr, "--workers", "2",
+                     "-a", "st-wdc", "-a", "fto-hb", "--timeout", "30"])
+        sender.join()
+        out = capsys.readouterr().out
+        assert code == expected_code == 1
+        # the final summary block stays byte-identical to offline analyze
+        assert out.endswith(expected)
+
+    def test_workers_one_is_in_process(self, trace_path, capsys):
+        # --workers 1 must not regress the plain path (exact same output)
+        serial_code = main(["analyze", trace_path, "-a", "st-wdc"])
+        serial_out = capsys.readouterr().out
+        code = main(["analyze", trace_path, "--workers", "1",
+                     "-a", "st-wdc"])
+        out = capsys.readouterr().out
+        assert code == serial_code
+        assert out == serial_out
+
+
+class TestHelpEpilog:
+    """--help documents the exit-code contract and format autodetection."""
+
+    @pytest.mark.parametrize("argv", [
+        ["--help"],
+        ["analyze", "--help"],
+        ["serve", "--help"],
+        ["convert", "--help"],
+    ])
+    def test_contract_in_help(self, argv, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit status: 0 = no races found" in out
+        assert "autodetected" in out
+
+    def test_workers_flag_documented(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--help"])
+        assert "--workers" in capsys.readouterr().out

@@ -144,6 +144,46 @@ def test_fuzz_online_socket_session_equals_offline(fuzz_count, tmp_path):
             (trial, anchor)
 
 
+def test_fuzz_parallel_equals_serial(fuzz_count, monkeypatch):
+    """Every fuzzed trace, sharded across a randomized worker count
+    (1–4, so shard assignments sweep from everything-in-one-process to
+    maximal family-aware spread) and a randomized analysis subset,
+    produces reports identical to the serial single-pass engine:
+    identical race records and identical per-analysis summary counts.
+    Chunk sizes are randomized down to a few events so multi-chunk
+    broadcast and ring wraparound are exercised, and every 7th trial
+    forces the pickled-queue transport fallback."""
+    from repro.core.parallel import ParallelRunner
+
+    rng = random.Random(0x9A7A11E1)
+    for trial in range(fuzz_count):
+        trace = fuzzed_trace(rng, trial)
+        names = list(ALL_ANALYSES)
+        if trial % 3:
+            names = rng.sample(names, rng.randrange(1, len(names) + 1))
+        serial = MultiRunner(
+            [create(name, trace) for name in names]).run(trace)
+        assert serial.ok, (trial, serial.failures)
+        monkeypatch.setenv(
+            "REPRO_PARALLEL_TRANSPORT",
+            "pickle" if trial % 7 == 3 else "shm")
+        workers = rng.randrange(1, 5)
+        parallel = ParallelRunner(
+            names, trace, workers=workers,
+            chunk_events=rng.choice((5, 64, 8192))).run(trace)
+        assert parallel.ok, (trial, parallel.failures)
+        assert parallel.events_processed == serial.events_processed == \
+            len(trace), trial
+        for name in set(names):
+            ser = serial.report(name)
+            par = parallel.report(name)
+            assert _race_key(par) == _race_key(ser), (trial, workers, name)
+            assert (par.dynamic_count, par.static_count,
+                    par.events_processed) == \
+                (ser.dynamic_count, ser.static_count,
+                 ser.events_processed), (trial, workers, name)
+
+
 def test_fuzz_single_iteration_property(fuzz_count):
     """The engine iterates the event source exactly once, whatever the
     trace shape (a one-shot source would raise otherwise)."""
