@@ -32,8 +32,12 @@ import os
 import tempfile
 import time
 
+import pytest
+
 from benchmarks.conftest import bench_scale, gate, write_result
-from repro.core.engine import MultiRunner, run_stream
+from repro.clocks.epoch import TID_BITS
+from repro.core.engine import _EPOCH_ENDERS, MultiRunner, run_stream
+from repro.core.kernels import kernels_available
 from repro.core.registry import MAIN_MATRIX, create
 from repro.trace.binfmt import BinaryTraceWriter
 from repro.trace.format import dump_trace, stream_trace
@@ -204,6 +208,127 @@ def test_binary_ingest_speedup(results_dir):
         "ratio": round(speedup, 3),
     })
     gate(speedup >= 2.0, text)
+
+
+#: The epoch tiers with batch kernels (DESIGN.md §8) — the replay hot
+#: path the columnar kernels accelerate.
+KERNEL_ANALYSES = ["ft2", "fto-hb", "st-wcp", "st-dc", "st-wdc"]
+
+
+def _kernel_spec():
+    """A RoadRunner-shaped workload for the replay hot path: long bursty
+    access runs, mostly lock-free (low ``p_cs``), so the per-event
+    interpreter dispatch the kernels eliminate dominates the scalar
+    baseline — the regime Table 2's DaCapo programs live in."""
+    return WorkloadSpec(name="kernel-bench", threads=8,
+                        events=max(int(1_000_000 * bench_scale()), 20_000),
+                        locks=16, shared_vars=512, local_vars=128,
+                        p_cs=0.002, read_fraction=0.75, burst=8.0,
+                        p_volatile=0.002, predictive_races=2, hb_races=2,
+                        seed=11)
+
+
+def _predecode(trace, chunk_size):
+    """Decode + shared same-epoch filter, once, into flat chunk columns —
+    the exact loop the parallel parent runs — so the timed region below
+    is pure replay (``feed_decoded``), not parsing."""
+    toks, last_r, last_w = {}, {}, {}
+    chunks = []
+    idx_b, kind_b, tid_b, tgt_b, site_b = [], [], [], [], []
+    i = -1
+    for e in trace.events:
+        i += 1
+        k = e.kind
+        t = e.tid
+        x = e.target
+        if k <= 1:
+            tok = toks.get(t, t)
+            if k == 0:
+                if last_r.get(x) == tok:
+                    continue
+                last_r[x] = tok
+            else:
+                if last_w.get(x) == tok:
+                    continue
+                last_w[x] = tok
+                if x in last_r:
+                    del last_r[x]
+        elif _EPOCH_ENDERS[k]:
+            toks[t] = toks.get(t, t) + (1 << TID_BITS)
+        idx_b.append(i)
+        kind_b.append(k)
+        tid_b.append(t)
+        tgt_b.append(x)
+        site_b.append(e.site)
+        if len(idx_b) == chunk_size:
+            chunks.append((idx_b, kind_b, tid_b, tgt_b, site_b,
+                           chunk_size, i + 1))
+            idx_b, kind_b, tid_b, tgt_b, site_b = [], [], [], [], []
+    if idx_b:
+        chunks.append((idx_b, kind_b, tid_b, tgt_b, site_b,
+                       len(idx_b), i + 1))
+    return chunks, i + 1
+
+
+def test_kernel_batch_speedup(results_dir):
+    """Columnar batch kernels vs per-event replay on the epoch tiers.
+
+    Both sides replay the same predecoded flat chunks through
+    ``feed_decoded`` — the only difference is ``use_kernels`` — and the
+    reports (race tuples and peak footprint) must match bit for bit.
+    """
+    if not kernels_available():
+        pytest.skip("numpy unavailable or REPRO_NO_NUMPY set")
+    chunk_size = 32768
+    trace = generate_trace(_kernel_spec())
+    chunks, total = _predecode(trace, chunk_size)
+
+    def replay(use_kernels):
+        def run():
+            analyses = [create(n, trace) for n in KERNEL_ANALYSES]
+            runner = MultiRunner(analyses, chunk_events=chunk_size,
+                                 use_kernels=use_kernels)
+            sess = runner.session()
+            t0 = time.perf_counter()
+            for c in chunks:
+                sess.feed_decoded(list(c[0]), list(c[1]), list(c[2]),
+                                  list(c[3]), list(c[4]), c[5], c[6])
+            res = sess.finish()
+            dt = time.perf_counter() - t0
+            assert res.ok
+            run.signature = tuple(
+                (en.name,
+                 tuple((r.index, r.site, r.var, r.tid, r.access, r.kinds)
+                       for r in en.report.races),
+                 en.report.peak_footprint_bytes)
+                for en in res.entries)
+            return dt
+        return run
+
+    scalar, kernel = replay(False), replay(True)
+    off, on = _best_pair(scalar, kernel, repeats=5, warmup=1)
+    assert scalar.signature == kernel.signature
+    ratio = off / on
+    text = ("engine batch kernels vs per-event replay (epoch tiers)\n"
+            "workload: {} events ({} after same-epoch filter), "
+            "{} analyses, chunk {}\n"
+            "scalar: {:.3f}s ({:.2f}M ev/s)   kernels: {:.3f}s "
+            "({:.2f}M ev/s)   speedup: {:.2f}x"
+            .format(total, sum(c[5] for c in chunks), len(KERNEL_ANALYSES),
+                    chunk_size, off, total / off / 1e6,
+                    on, total / on / 1e6, ratio))
+    print(text)
+    write_result(results_dir, "engine_kernels.txt", text, data={
+        "workload": {"events": total,
+                     "kept_events": sum(c[5] for c in chunks),
+                     "analyses": len(KERNEL_ANALYSES),
+                     "chunk_events": chunk_size},
+        "scalar_s": round(off, 4),
+        "kernels_s": round(on, 4),
+        "events_per_s": round(total / on, 1),
+        "ratio": round(ratio, 3),
+    })
+    gate(ratio >= 3.0, text)
 
 
 def test_single_pass_reports_match_sequential():

@@ -301,6 +301,7 @@ def _cmd_serve(args) -> int:
                   file=sys.stderr)
             return 2
         session = runner.session()
+        interrupted = False
         try:
             for name, race in session.drain(source, window=window):
                 _emit_live_race(name, race, emit_json)
@@ -309,6 +310,11 @@ def _cmd_serve(args) -> int:
             # connection), the session did not: emit what the surviving
             # analyses know, then exit 2
             feed_error = exc
+        except KeyboardInterrupt:
+            # Ctrl-C: stop consuming the feed but still emit the partial
+            # summary; finish() reaps any worker processes and unlinks
+            # their shared memory (exit 130, the conventional SIGINT code)
+            interrupted = True
         result = session.finish()
     races_found = 0
     if emit_json:
@@ -328,6 +334,10 @@ def _cmd_serve(args) -> int:
                 races_found |= 1 if entry.report.dynamic_count else 0
     else:
         races_found = _print_entries(result, args)
+    if interrupted:
+        print("interrupted after {} events; partial summary above".format(
+            result.events_processed), file=sys.stderr)
+        return 130
     if feed_error is not None:
         print("error: live feed failed after {} events: {}".format(
             result.events_processed, feed_error), file=sys.stderr)
@@ -557,6 +567,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # commands that can summarize partial work (serve) catch this
+        # themselves; everywhere else Ctrl-C exits cleanly — no
+        # traceback — with the conventional 128+SIGINT code
+        print("interrupted", file=sys.stderr)
+        return 130
     except BrokenPipeError:  # e.g. `repro analyze ... | head`
         try:
             sys.stdout.close()

@@ -68,3 +68,37 @@ def epoch_leq(e: Optional[Epoch], vc: VectorClock, self_tid: int) -> bool:
         return True
     t = e & TID_MASK
     return t == self_tid or (e >> TID_BITS) <= vc[t]
+
+
+# -- packed last-access columns (batch kernels, DESIGN.md §8) ---------------
+#
+# The epoch tiers keep their per-variable last-access metadata in flat
+# ``array('q')`` columns so the engine's batch kernels can gather/compare
+# whole chunks at once.  A column slot holds either a packed epoch (>= 0)
+# or one of these negative sentinels; anything a scalar can't represent
+# (a read vector clock) lives in a side dict keyed by variable.
+
+#: Column sentinel for the uninitialized epoch ``⊥e`` (dict-era ``None``).
+PACKED_BOTTOM = -1
+
+#: Column sentinel: the read metadata is a VectorClock held in the
+#: analysis' ``_read_vc`` side dict.
+META_VC = -2
+
+#: Column sentinel: FastTrack2's [Write Shared] reset the read metadata
+#: to bottom.  Distinct from :data:`PACKED_BOTTOM` only for footprint
+#: accounting (a reset slot was a live dict entry in the scalar era).
+META_RESET = -3
+
+
+def packed_epoch_leq(e: Optional[int], vc: VectorClock, self_tid: int) -> bool:
+    """:func:`epoch_leq` over a packed *column* value.
+
+    Accepts the column sentinels: any negative value (and ``None``, for
+    callers mixing packed and optional epochs) is ``⊥e`` — before
+    everything.
+    """
+    if e is None or e < 0:
+        return True
+    t = e & TID_MASK
+    return t == self_tid or (e >> TID_BITS) <= vc[t]

@@ -265,6 +265,22 @@ class Analysis:
             self._dispatch = table
         return table
 
+    def make_kernel(self):
+        """Build this analysis' chunk batch kernel, or return ``None``.
+
+        The capability contract behind :mod:`repro.core.kernels`: an
+        analysis that can replay *whole decoded chunks* through
+        vectorized fast paths (falling back to its own per-event
+        handlers for slow paths) returns a kernel object exposing
+        ``process_chunk(plan)``; the engine then drives the kernel
+        instead of the dispatch table, with bit-identical reports.
+        Analyses return ``None`` when they have no kernel, when numpy
+        is unavailable (``repro.core.kernels.kernels_available()``), or
+        when per-event bookkeeping is on (``case_counts``) — the engine
+        falls back to ordinary chunked replay.
+        """
+        return None
+
     def run(self, sample_every: int = 0) -> RaceReport:
         """Process the whole (materialized) trace and return the report.
 

@@ -117,13 +117,16 @@ class AnalysisFailure:
 class EngineEntry:
     """Per-analysis slot in a :class:`MultiResult`."""
 
-    __slots__ = ("analysis", "report", "failure", "peak")
+    __slots__ = ("analysis", "report", "failure", "peak", "kernel")
 
     def __init__(self, analysis: Analysis):
         self.analysis = analysis
         self.report: Optional[RaceReport] = None
         self.failure: Optional[AnalysisFailure] = None
         self.peak = 0
+        #: batch kernel (repro.core.kernels) replacing chunked per-event
+        #: replay for this analysis; None means the scalar path
+        self.kernel = None
 
     @property
     def name(self) -> str:
@@ -257,6 +260,20 @@ class EngineSession:
                            and all(e.analysis.SAME_EPOCH_SKIP
                                    and e.analysis.case_counts is None
                                    for e in self.entries))
+        # batch kernels (repro.core.kernels): entries with a kernel skip
+        # the per-event replay; chunks are then packaged into a shared
+        # ChunkPlan, and the decode-time filter runs vectorized
+        self._plan_live = any(e.kernel is not None for e in self._live)
+        self._make_plan = None
+        self._vec_filter = None
+        if runner._kernels_on:
+            from repro.core import kernels
+
+            if self._plan_live:
+                self._make_plan = kernels.ChunkPlan
+            if self._filter_on:
+                width = max(e.analysis.width for e in self.entries)
+                self._vec_filter = kernels.make_filter(width, _EPOCH_ENDERS)
         # per-thread tokens (epoch << TID_BITS | tid), recomputed only at
         # epoch-ending events so the access fast path is one dict get
         self._toks: Dict[int, int] = {}
@@ -320,7 +337,11 @@ class EngineSession:
         groups = self._groups
         progress = runner.progress
         chunk_size = runner.chunk_events
-        filter_on = self._filter_on
+        vec_filter = self._vec_filter
+        make_plan = self._make_plan
+        # the vectorized filter replays whole decoded chunks, so the
+        # per-event scalar filter only runs when it is unavailable
+        filter_on = self._filter_on and vec_filter is None
         epoch_enders = _EPOCH_ENDERS
         toks = self._toks
         last_r = self._last_r
@@ -403,19 +424,32 @@ class EngineSession:
                 if n == 0 and source_error is None:
                     break
                 if n:
-                    for entry in list(live):
-                        try:
-                            runner._replay(entry, indices, kinds, tids,
-                                           targets, sites, n)
-                        except Exception as exc:  # detach this analysis
-                            entry.failure = AnalysisFailure(
-                                entry.name, runner._failure_index(exc), exc)
-                            live.remove(entry)
-                    for bank, members in groups:
-                        if members:
-                            runner._replay_group(bank, members, indices,
-                                                 kinds, tids, targets,
-                                                 sites, n)
+                    m = n
+                    if vec_filter is not None:
+                        m = vec_filter.apply(indices, kinds, tids, targets,
+                                             sites, n)
+                    if m:
+                        plan = (make_plan(indices, kinds, tids, targets,
+                                          sites, m)
+                                if make_plan is not None else None)
+                        for entry in list(live):
+                            kernel = entry.kernel
+                            try:
+                                if kernel is not None and plan is not None:
+                                    kernel.process_chunk(plan)
+                                else:
+                                    runner._replay(entry, indices, kinds,
+                                                   tids, targets, sites, m)
+                            except Exception as exc:  # detach this analysis
+                                entry.failure = AnalysisFailure(
+                                    entry.name, runner._failure_index(exc),
+                                    exc)
+                                live.remove(entry)
+                        for bank, members in groups:
+                            if members:
+                                runner._replay_group(bank, members, indices,
+                                                     kinds, tids, targets,
+                                                     sites, m)
                     if progress is not None:
                         progress(i + 1)
                         self._reported = i + 1
@@ -462,10 +496,17 @@ class EngineSession:
         try:
             if n:
                 live = self._live
+                make_plan = self._make_plan
+                plan = (make_plan(indices, kinds, tids, targets, sites, n)
+                        if make_plan is not None else None)
                 for entry in list(live):
+                    kernel = entry.kernel
                     try:
-                        runner._replay(entry, indices, kinds, tids,
-                                       targets, sites, n)
+                        if kernel is not None and plan is not None:
+                            kernel.process_chunk(plan)
+                        else:
+                            runner._replay(entry, indices, kinds, tids,
+                                           targets, sites, n)
                     except Exception as exc:  # detach this analysis
                         entry.failure = AnalysisFailure(
                             entry.name, runner._failure_index(exc), exc)
@@ -569,6 +610,10 @@ class EngineSession:
             self._reported = events_processed
         for entry in self.entries:
             if entry.failure is None:
+                if entry.kernel is not None:
+                    # settle lazily-derived metadata (StKernel CS lists)
+                    # before the final footprint sample
+                    entry.kernel.flush()
                 entry.report = entry.analysis.finish(
                     events_processed, entry.peak)
         return MultiResult(self.entries, events_processed)
@@ -625,11 +670,19 @@ class MultiRunner:
     share_hb:
         Set False to disable shared-HB grouping (every analysis keeps
         its private clocks, as in solo runs).
+    use_kernels:
+        None (the default) auto-selects the columnar batch kernels
+        (:mod:`repro.core.kernels`) for every capable analysis when
+        numpy is importable, ``REPRO_NO_NUMPY`` is unset, and footprint
+        sampling is off; False forces the pure-Python replay paths.
+        Reports are bit-identical either way (the fuzz sweep asserts
+        this).
     """
 
     def __init__(self, analyses: Sequence[Analysis], sample_every: int = 0,
                  progress: Optional[Callable[[int], None]] = None,
-                 chunk_events: int = 8192, share_hb: bool = True):
+                 chunk_events: int = 8192, share_hb: bool = True,
+                 use_kernels: Optional[bool] = None):
         if not analyses:
             raise ValueError("MultiRunner needs at least one analysis")
         self.entries = [EngineEntry(a) for a in analyses]
@@ -644,6 +697,32 @@ class MultiRunner:
         self._share_hb = share_hb
         self._groups_formed = False
         self._session_open = False
+        self._use_kernels = use_kernels
+        self._kernels_attached = False
+        self._kernels_on = False
+
+    # -- batch kernel attachment -------------------------------------------
+    def _attach_kernels(self) -> None:
+        """Hand each capable analysis its batch kernel (once, before the
+        first session — like shared-HB grouping, a kernel permanently
+        claims its entry: a kernel entry replays solo so its fast paths
+        may bypass the per-event handlers).
+
+        Sampling passes keep the scalar path: a kernel skips handler
+        work per event, so per-event footprint peaks would be wrong.
+        """
+        if self._kernels_attached:
+            return
+        self._kernels_attached = True
+        if self._use_kernels is False or self.sample_every:
+            return
+        from repro.core import kernels
+
+        if not kernels.kernels_available():
+            return
+        for entry in self.entries:
+            entry.kernel = entry.analysis.make_kernel()
+        self._kernels_on = any(e.kernel is not None for e in self.entries)
 
     # -- shared-HB group formation ----------------------------------------
     def _form_hb_groups(self) -> None:
@@ -658,6 +737,10 @@ class MultiRunner:
         hh_groups: Dict[int, List[EngineEntry]] = {}
         cc_groups: Dict[int, List[EngineEntry]] = {}
         for entry in self.entries:
+            if entry.kernel is not None:
+                # kernel entries replay solo: their vector fast paths
+                # bypass the handlers a fused group replay relies on
+                continue
             a = entry.analysis
             if (getattr(a, "TRACKS_HB", False)
                     and getattr(a, "hh", None) is not None
@@ -842,12 +925,20 @@ class MultiRunner:
     @staticmethod
     def _failure_index(exc: BaseException) -> int:
         """The event index a chunked replay failure happened at, recovered
-        from the ``_replay`` frame in the traceback (the per-record loop
-        is kept free of bookkeeping; the frame's ``j`` local is the
-        index)."""
+        from the ``_replay`` frame — or a batch kernel's ordered-walk
+        frame — in the traceback (the per-record loops are kept free of
+        bookkeeping; the frame's ``j`` local is the index).  A failure in
+        a kernel's vector phase has no per-event frame and reports -1."""
+        codes = {MultiRunner._replay.__code__}
+        try:
+            from repro.core import kernels
+
+            codes |= kernels.WALK_CODES
+        except Exception:  # pragma: no cover - defensive
+            pass
         tb = exc.__traceback__
         while tb is not None:
-            if tb.tb_frame.f_code is MultiRunner._replay.__code__:
+            if tb.tb_frame.f_code in codes:
                 return tb.tb_frame.f_locals.get("j", -1)
             tb = tb.tb_next
         return -1
@@ -877,8 +968,10 @@ class MultiRunner:
             raise RuntimeError(
                 "another engine session over these analyses is still "
                 "open; finish() or close() it first")
-        if self._share_hb and not self._groups_formed:
-            self._form_hb_groups()
+        if not self._groups_formed:
+            self._attach_kernels()
+            if self._share_hb:
+                self._form_hb_groups()
         self._groups_formed = True
         self._session_open = True
         return EngineSession(self)

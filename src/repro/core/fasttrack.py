@@ -18,18 +18,32 @@ Epochs are packed ints (``c << TID_BITS | t``; see
 :mod:`repro.clocks.epoch`): the same-epoch fast path is a single ``==``
 between the stored metadata and the current thread's packed epoch, and no
 tuple is allocated per access.
+
+Last-access metadata lives in flat ``array('q')`` columns (one slot per
+variable, negative sentinels for bottom/VC/reset — see the packed-column
+constants in :mod:`repro.clocks.epoch`) so the engine's batch kernels
+(:mod:`repro.core.kernels`, DESIGN.md §8) can gather and compare whole
+chunks at once; read vector clocks live in the ``_read_vc`` side dict.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from array import array
+from typing import Dict
 
-from repro.clocks.epoch import TID_BITS, TID_MASK, epoch_leq
+from repro.clocks.epoch import (
+    META_RESET,
+    META_VC,
+    PACKED_BOTTOM,
+    TID_BITS,
+    TID_MASK,
+    packed_epoch_leq,
+)
 from repro.clocks.vector_clock import VectorClock
 from repro.core.base import DICT_ENTRY_BYTES, EPOCH_BYTES, VectorClockAnalysis, _vc_bytes
 from repro.trace.trace import Trace
 
-Meta = Union[None, int, VectorClock]
+_BOTTOM_WORD = b"\xff" * 8  # int64 -1 == PACKED_BOTTOM, little/big agnostic
 
 
 class _EpochHbBase(VectorClockAnalysis):
@@ -38,12 +52,38 @@ class _EpochHbBase(VectorClockAnalysis):
     HB_RELATION = True
     #: implements the [Read/Write Same Epoch] fast paths
     SAME_EPOCH_SKIP = True
+    #: event kinds at which this tier bumps the local clock (release,
+    #: fork, volatile read/write, static init — *not* acquire); the batch
+    #: kernels derive exact per-position epochs from this set.
+    BUMP_KINDS = (3, 4, 6, 7, 8)
+    #: which mask family repro.core.kernels builds for this class
+    KERNEL_STYLE = ""
 
     def __init__(self, trace: Trace, collect_cases: bool = False):
         super().__init__(trace, collect_cases=collect_cases)
         self._lock_clock: Dict[int, VectorClock] = {}
-        self._read: Dict[int, Meta] = {}
-        self._write: Dict[int, Optional[int]] = {}
+        nv = max(getattr(trace, "num_vars", 0) or 0, 1)
+        self._read = array("q", _BOTTOM_WORD * nv)
+        self._write = array("q", _BOTTOM_WORD * nv)
+        #: read metadata slots promoted to vector clocks (column holds
+        #: META_VC); keyed by variable
+        self._read_vc: Dict[int, VectorClock] = {}
+
+    def _grow_vars(self, need: int) -> None:
+        """Extend the metadata columns to at least ``need`` slots."""
+        have = len(self._read)
+        if need > have:
+            pad = _BOTTOM_WORD * (need - have)
+            self._read.frombytes(pad)
+            self._write.frombytes(pad)
+
+    def make_kernel(self):
+        """See :meth:`repro.core.base.Analysis.make_kernel`."""
+        if self.case_counts is not None:
+            return None
+        from repro.core import kernels
+
+        return kernels.make_kernel(self)
 
     def adopt_shared_cc(self, bank) -> None:
         """See :meth:`VectorClockAnalysis.adopt_shared_cc`; also rebinds
@@ -72,10 +112,12 @@ class _EpochHbBase(VectorClockAnalysis):
         vc = _vc_bytes(self.width)
         total = self._base_footprint()
         total += len(self._lock_clock) * (vc + DICT_ENTRY_BYTES)
-        total += len(self._write) * (EPOCH_BYTES + DICT_ENTRY_BYTES)
-        for r in self._read.values():
-            total += DICT_ENTRY_BYTES
-            total += vc if isinstance(r, VectorClock) else EPOCH_BYTES
+        writes = sum(1 for w in self._write if w != PACKED_BOTTOM)
+        total += writes * (EPOCH_BYTES + DICT_ENTRY_BYTES)
+        reads = sum(1 for r in self._read if r != PACKED_BOTTOM)
+        shared = len(self._read_vc)
+        total += reads * DICT_ENTRY_BYTES
+        total += shared * vc + (reads - shared) * EPOCH_BYTES
         return total
 
 
@@ -85,27 +127,33 @@ class FastTrack2(_EpochHbBase):
     name = "ft2"
     relation = "hb"
     tier = "epoch"
+    KERNEL_STYLE = "ft2"
 
     def read(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
         time = cc_t[t]
         e = time << TID_BITS | t
-        r = self._read.get(x)
+        try:
+            r = self._read[x]
+        except IndexError:
+            self._grow_vars(x + 1)
+            r = PACKED_BOTTOM
         if r == e:
             return  # [Read Same Epoch]
-        w = self._write.get(x)
-        if type(r) is VectorClock:
-            if r[t] == time:
+        w = self._write[x]
+        if r == META_VC:
+            rvc = self._read_vc[x]
+            if rvc[t] == time:
                 self._count("read_shared_same_epoch")
                 return
-            if not epoch_leq(w, cc_t, t):
+            if not packed_epoch_leq(w, cc_t, t):
                 self._race(i, site, x, t, "read", "write-read")
             self._count("read_shared")
-            r[t] = time
+            rvc[t] = time
             return
-        if not epoch_leq(w, cc_t, t):
+        if not packed_epoch_leq(w, cc_t, t):
             self._race(i, site, x, t, "read", "write-read")
-        if r is None or epoch_leq(r, cc_t, t):
+        if r < 0 or packed_epoch_leq(r, cc_t, t):
             self._count("read_exclusive")
             self._read[x] = e
         else:
@@ -113,28 +161,33 @@ class FastTrack2(_EpochHbBase):
             vc = VectorClock.zeros(self.width)
             vc[r & TID_MASK] = r >> TID_BITS
             vc[t] = time
-            self._read[x] = vc
+            self._read_vc[x] = vc
+            self._read[x] = META_VC
 
     def write(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
         time = cc_t[t]
         e = time << TID_BITS | t
-        w = self._write.get(x)
+        try:
+            w = self._write[x]
+        except IndexError:
+            self._grow_vars(x + 1)
+            w = PACKED_BOTTOM
         if w == e:
             return  # [Write Same Epoch]
-        r = self._read.get(x)
+        r = self._read[x]
         kinds = []
-        if not epoch_leq(w, cc_t, t):
+        if not packed_epoch_leq(w, cc_t, t):
             kinds.append("write-write")
-        if type(r) is VectorClock:
+        if r == META_VC:
             self._count("write_shared")
-            if not r.leq_except(cc_t, t):
+            if not self._read_vc.pop(x).leq_except(cc_t, t):
                 kinds.append("read-write")
             # FastTrack2 [Write Shared] resets the read metadata to bottom.
-            self._read[x] = None
+            self._read[x] = META_RESET
         else:
             self._count("write_exclusive")
-            if not epoch_leq(r, cc_t, t):
+            if not packed_epoch_leq(r, cc_t, t):
                 kinds.append("read-write")
         if kinds:
             self._race(i, site, x, t, "write", "+".join(kinds))
@@ -153,28 +206,34 @@ class FTOHb(_EpochHbBase):
     name = "fto-hb"
     relation = "hb"
     tier = "fto"
+    KERNEL_STYLE = "fto"
 
     def read(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
         time = cc_t[t]
         e = time << TID_BITS | t
-        r = self._read.get(x)
+        try:
+            r = self._read[x]
+        except IndexError:
+            self._grow_vars(x + 1)
+            r = PACKED_BOTTOM
         if r == e:
             return  # [Read Same Epoch]
-        if type(r) is VectorClock:
-            if r[t] == time:
+        if r == META_VC:
+            rvc = self._read_vc[x]
+            if rvc[t] == time:
                 self._count("read_shared_same_epoch")
                 return
-            if r[t] != 0:
+            if rvc[t] != 0:
                 self._count("read_shared_owned")
-                r[t] = time
+                rvc[t] = time
                 return
             self._count("read_shared")
-            if not epoch_leq(self._write.get(x), cc_t, t):
+            if not packed_epoch_leq(self._write[x], cc_t, t):
                 self._race(i, site, x, t, "read", "write-read")
-            r[t] = time
+            rvc[t] = time
             return
-        if r is None:
+        if r < 0:
             self._count("read_exclusive")
             self._read[x] = e
             return
@@ -182,35 +241,40 @@ class FTOHb(_EpochHbBase):
             self._count("read_owned")
             self._read[x] = e
             return
-        if epoch_leq(r, cc_t, t):
+        if packed_epoch_leq(r, cc_t, t):
             self._count("read_exclusive")
             self._read[x] = e
             return
         self._count("read_share")
-        if not epoch_leq(self._write.get(x), cc_t, t):
+        if not packed_epoch_leq(self._write[x], cc_t, t):
             self._race(i, site, x, t, "read", "write-read")
         vc = VectorClock.zeros(self.width)
         vc[r & TID_MASK] = r >> TID_BITS
         vc[t] = time
-        self._read[x] = vc
+        self._read_vc[x] = vc
+        self._read[x] = META_VC
 
     def write(self, t: int, x: int, i: int, site: int) -> None:
         cc_t = self.cc[t]
         time = cc_t[t]
         e = time << TID_BITS | t
-        w = self._write.get(x)
+        try:
+            w = self._write[x]
+        except IndexError:
+            self._grow_vars(x + 1)
+            w = PACKED_BOTTOM
         if w == e:
             return  # [Write Same Epoch]
-        r = self._read.get(x)
-        if type(r) is VectorClock:
+        r = self._read[x]
+        if r == META_VC:
             self._count("write_shared")
-            if not r.leq_except(cc_t, t):
+            if not self._read_vc.pop(x).leq_except(cc_t, t):
                 self._race(i, site, x, t, "write", "read-write")
-        elif r is None or (r & TID_MASK) == t:
-            self._count("write_owned" if r is not None else "write_exclusive")
+        elif r < 0 or (r & TID_MASK) == t:
+            self._count("write_owned" if r >= 0 else "write_exclusive")
         else:
             self._count("write_exclusive")
-            if not epoch_leq(r, cc_t, t):
+            if not packed_epoch_leq(r, cc_t, t):
                 self._race(i, site, x, t, "write", "access-write")
         self._write[x] = e
         self._read[x] = e

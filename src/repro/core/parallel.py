@@ -55,6 +55,7 @@ from __future__ import annotations
 
 import os
 import queue as queue_module
+import signal
 import traceback
 from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
@@ -345,6 +346,15 @@ def _worker_main(shard_id: int, names: Sequence[str], info_dims: tuple,
     """
     from repro.core.engine import MultiRunner
 
+    # Ctrl-C is delivered to the whole foreground process group; the
+    # *parent* owns shutdown (it collects partial results, reaps the
+    # workers, and unlinks the shared memory), so a worker must not kill
+    # itself mid-protocol — that would turn an orderly interrupt into a
+    # "worker process died" failure and lose the shard's partial reports.
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic start method
+        pass
     rx = None
     try:
         info = TraceInfo(*info_dims)
@@ -680,14 +690,20 @@ class ParallelSession:
         """
         if self._finished:
             raise RuntimeError("parallel session is already finished")
-        if not self._collected:
-            # finish() without a full drain (e.g. after a source error
-            # handled by the caller): collect whatever the workers have
-            leftovers: List[tuple] = []
-            self._collect(leftovers)
         self._finished = True
-        self._teardown()
-        self._runner._session_open = False
+        try:
+            if not self._collected:
+                # finish() without a full drain (a source error or an
+                # interrupt handled by the caller): collect whatever the
+                # workers have — they ignore SIGINT, so they are alive to
+                # seal their shards' partial reports
+                leftovers: List[tuple] = []
+                self._collect(leftovers)
+        finally:
+            # reap processes and unlink shared memory even when the
+            # collect itself is interrupted (second Ctrl-C)
+            self._teardown()
+            self._runner._session_open = False
         return MultiResult(self.entries, self.events_processed)
 
     def close(self) -> None:

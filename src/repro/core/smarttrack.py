@@ -19,13 +19,28 @@ SmartTrack extends FTO (Algorithm 2) with the conflicting-critical-section
 Deviations from the preprint listing (see DESIGN.md §4): ``MultiCheck``
 calls over ``L^w_x`` pass the last *writer's* thread id, and the clearing
 loop of the extra metadata at writes nests inside the held-locks loop.
+
+Last-access epochs live in flat ``array('q')`` columns (sentinels from
+:mod:`repro.clocks.epoch`; read vector clocks in the ``_read_vc`` side
+dict) and the CS lists in ``None``-filled Python lists, so the batch
+kernels (:mod:`repro.core.kernels`, DESIGN.md §8) can gather per-chunk.
+``_eflags`` mirrors, per variable, whether ``E^r_x`` (bit 0) / ``E^w_x``
+(bit 1) is non-empty — the kernels' fast paths require the relevant extra
+metadata to be absent.
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.clocks.epoch import TID_BITS, TID_MASK, epoch_leq
+from repro.clocks.epoch import (
+    META_VC,
+    PACKED_BOTTOM,
+    TID_BITS,
+    TID_MASK,
+    packed_epoch_leq,
+)
 from repro.clocks.vector_clock import INF, VectorClock
 from repro.core.base import (
     DICT_ENTRY_BYTES,
@@ -38,10 +53,11 @@ from repro.core.rule_b import RuleBQueues
 from repro.core.unopt import _WcpMixin
 from repro.trace.trace import Trace
 
-Meta = Union[None, int, VectorClock]
+_BOTTOM_WORD = b"\xff" * 8  # int64 -1 == PACKED_BOTTOM
+
 #: L^r_x is a CS list while R_x is an epoch, or a per-thread dict of CS
-#: lists while R_x is a vector clock.
-ReadCS = Union[CSList, Dict[int, CSList]]
+#: lists while R_x is a vector clock; ``None`` before the first access.
+ReadCS = Union[None, CSList, Dict[int, CSList]]
 
 
 class SmartTrack(VectorClockAnalysis):
@@ -52,14 +68,25 @@ class SmartTrack(VectorClockAnalysis):
     #: implements the [Same Epoch] fast paths (Algorithm 3)
     SAME_EPOCH_SKIP = True
     USES_RULE_B = False
+    #: event kinds at which this tier bumps the local clock (acquire AND
+    #: release, plus the hard edges); the batch kernels derive exact
+    #: per-position epochs from this set.
+    BUMP_KINDS = (2, 3, 4, 6, 7, 8)
+    #: which mask family repro.core.kernels builds for this class
+    KERNEL_STYLE = "st"
 
     def __init__(self, trace: Trace, rule_b_style: str = "log",
                  collect_cases: bool = False):
         super().__init__(trace, collect_cases=collect_cases)
-        self._read: Dict[int, Meta] = {}
-        self._write: Dict[int, Optional[int]] = {}
-        self._lw: Dict[int, CSList] = {}
-        self._lr: Dict[int, ReadCS] = {}
+        nv = max(getattr(trace, "num_vars", 0) or 0, 1)
+        self._read = array("q", _BOTTOM_WORD * nv)
+        self._write = array("q", _BOTTOM_WORD * nv)
+        #: read slots promoted to vector clocks (column holds META_VC)
+        self._read_vc: Dict[int, VectorClock] = {}
+        self._lw: List[Optional[CSList]] = [None] * nv
+        self._lr: List[ReadCS] = [None] * nv
+        #: bit 0: E^r_x non-empty; bit 1: E^w_x non-empty
+        self._eflags = array("b", bytes(nv))
         # E^r_x / E^w_x: var -> thread -> lock -> release-clock reference
         self._er: Dict[int, Dict[int, Dict[int, VectorClock]]] = {}
         self._ew: Dict[int, Dict[int, Dict[int, VectorClock]]] = {}
@@ -69,6 +96,25 @@ class SmartTrack(VectorClockAnalysis):
         if self.USES_RULE_B:
             self._queues = RuleBQueues(self.width, epoch_acquires=True,
                                        style=rule_b_style)
+
+    def _grow_vars(self, need: int) -> None:
+        """Extend the per-variable columns to at least ``need`` slots."""
+        have = len(self._read)
+        if need > have:
+            pad = _BOTTOM_WORD * (need - have)
+            self._read.frombytes(pad)
+            self._write.frombytes(pad)
+            self._lw.extend([None] * (need - have))
+            self._lr.extend([None] * (need - have))
+            self._eflags.frombytes(bytes(need - have))
+
+    def make_kernel(self):
+        """See :meth:`repro.core.base.Analysis.make_kernel`."""
+        if self.case_counts is not None:
+            return None
+        from repro.core import kernels
+
+        return kernels.make_kernel(self)
 
     # -- synchronization (Algorithm 3 lines 1–16) --------------------------
     def acquire(self, t: int, m: int, i: int, site: int) -> None:
@@ -105,7 +151,8 @@ class SmartTrack(VectorClockAnalysis):
         """Fused CCS/race check over one CS list.
 
         ``check`` is the last-access epoch to race-check (a packed epoch
-        from :mod:`repro.clocks.epoch`, or None for "no check").
+        from :mod:`repro.clocks.epoch`; ``None`` or a negative column
+        sentinel means "no check").
 
         Traverses outermost-to-innermost.  A critical section whose release
         is already ordered before the current access — or whose lock the
@@ -129,7 +176,7 @@ class SmartTrack(VectorClockAnalysis):
             if residual is None:
                 residual = {}
             residual[entry.lock] = clock
-        raced = not epoch_leq(check, cc_t, t)
+        raced = not packed_epoch_leq(check, cc_t, t)
         return residual, raced
 
     # -- writes (Algorithm 3 Write) -------------------------------------------
@@ -137,7 +184,11 @@ class SmartTrack(VectorClockAnalysis):
         cc_t = self.cc[t]
         time = self._time(t)
         e = time << TID_BITS | t
-        w = self._write.get(x)
+        try:
+            w = self._write[x]
+        except IndexError:
+            self._grow_vars(x + 1)
+            w = PACKED_BOTTOM
         if w == e:
             return  # [Write Same Epoch]
         er = self._er.get(x)
@@ -168,14 +219,15 @@ class SmartTrack(VectorClockAnalysis):
                 self._er.pop(x, None)
             if ew is not None and not ew:
                 self._ew.pop(x, None)
-        r = self._read.get(x)
-        if type(r) is VectorClock:  # [Write Shared], lines 30–35
+        r = self._read[x]
+        if r == META_VC:  # [Write Shared], lines 30–35
             self._count("write_shared")
-            lr = self._lr.get(x)
-            w_tid = (w & TID_MASK) if w is not None else -1
+            rvc = self._read_vc.pop(x)
+            lr = self._lr[x]
+            w_tid = (w & TID_MASK) if w >= 0 else -1
             raced = False
             for u in range(self.width):
-                ru = r[u]
+                ru = rvc[u]
                 if u == t or ru == 0:
                     continue
                 cs_u = lr.get(u, EMPTY) if isinstance(lr, dict) else EMPTY
@@ -186,28 +238,30 @@ class SmartTrack(VectorClockAnalysis):
                     self._er.setdefault(x, {})[u] = residual
                     if u == w_tid:
                         w_res, _ = self._multicheck(
-                            t, self._lw.get(x, EMPTY), u, None)
+                            t, self._lw[x] or EMPTY, u, None)
                         if w_res:
                             self._ew.setdefault(x, {})[u] = w_res
             if raced:
                 self._race(i, site, x, t, "write", "access-write")
-        elif r is None or (r & TID_MASK) == t:  # [Write Owned]
-            self._count("write_owned" if r is not None else "write_exclusive")
+        elif r < 0 or (r & TID_MASK) == t:  # [Write Owned]
+            self._count("write_owned" if r >= 0 else "write_exclusive")
         else:  # [Write Exclusive], lines 25–29
             self._count("write_exclusive")
             u = r & TID_MASK
             residual, raced = self._multicheck(
-                t, self._lr.get(x, EMPTY), u, r)
+                t, self._lr[x] or EMPTY, u, r)
             if residual:
                 self._er.setdefault(x, {})[u] = residual
-                w_tid = (w & TID_MASK) if w is not None else -1
+                w_tid = (w & TID_MASK) if w >= 0 else -1
                 if w_tid >= 0:
                     w_res, _ = self._multicheck(
-                        t, self._lw.get(x, EMPTY), w_tid, None)
+                        t, self._lw[x] or EMPTY, w_tid, None)
                     if w_res:
                         self._ew.setdefault(x, {})[w_tid] = w_res
             if raced:
                 self._race(i, site, x, t, "write", "access-write")
+        self._eflags[x] = ((1 if self._er.get(x) else 0)
+                           | (2 if self._ew.get(x) else 0))
         snap = tuple(self._stack[t])  # line 36
         self._lw[x] = snap
         self._lr[x] = snap
@@ -219,12 +273,18 @@ class SmartTrack(VectorClockAnalysis):
         cc_t = self.cc[t]
         time = self._time(t)
         e = time << TID_BITS | t
-        r = self._read.get(x)
+        try:
+            r = self._read[x]
+        except IndexError:
+            self._grow_vars(x + 1)
+            r = PACKED_BOTTOM
         if r == e:
             return  # [Read Same Epoch]
-        is_vc = type(r) is VectorClock
-        if is_vc and r[t] == time:
-            return  # [Shared Same Epoch]
+        is_vc = r == META_VC
+        if is_vc:
+            rvc = self._read_vc[x]
+            if rvc[t] == time:
+                return  # [Shared Same Epoch]
         ew = self._ew.get(x)
         if ew:  # lines 4–6: reads absorb (but keep) residual write CSs
             for m in self.held[t]:
@@ -234,28 +294,29 @@ class SmartTrack(VectorClockAnalysis):
                     clock = locks.get(m)
                     if clock is not None:
                         cc_t.join(clock)
-        w = self._write.get(x)
+        w = self._write[x]
         if is_vc:
-            if r[t] != 0:  # [Read Shared Owned], lines 19–21
+            if rvc[t] != 0:  # [Read Shared Owned], lines 19–21
                 self._count("read_shared_owned")
                 self._lr_set_thread(x, t)
-                r[t] = time
+                rvc[t] = time
                 return
             self._count("read_shared")  # [Read Shared], lines 22–25
-            w_tid = (w & TID_MASK) if w is not None else -1
+            w_tid = (w & TID_MASK) if w >= 0 else -1
             residual, raced = self._multicheck(
-                t, self._lw.get(x, EMPTY), w_tid, w)
-            if residual and w is not None:
+                t, self._lw[x] or EMPTY, w_tid, w)
+            if residual and w >= 0:
                 # Deviation (DESIGN.md §4): keep the residual write CSs in
                 # E^w_x so later owned-case reads inside critical sections
                 # still absorb the rule (a) ordering.
                 self._ew.setdefault(x, {})[w_tid] = residual
+                self._eflags[x] |= 2
             if raced:
                 self._race(i, site, x, t, "read", "write-read")
             self._lr_set_thread(x, t)
-            r[t] = time
+            rvc[t] = time
             return
-        if r is None:  # first access: trivial [Read Exclusive]
+        if r < 0:  # first access: trivial [Read Exclusive]
             self._count("read_exclusive")
             self._lr[x] = tuple(self._stack[t])
             self._read[x] = e
@@ -266,38 +327,40 @@ class SmartTrack(VectorClockAnalysis):
             self._read[x] = e
             return
         u = r & TID_MASK
-        lr = self._lr.get(x, EMPTY)
+        lr = self._lr[x] or EMPTY
         # lines 10–11: the last access's *outermost* release time decides
         # between [Read Exclusive] and [Read Share]
         if lr:
             outer = lr[0].clock
             ordered = outer[u] <= cc_t[u]
         else:
-            ordered = epoch_leq(r, cc_t, t)
+            ordered = packed_epoch_leq(r, cc_t, t)
         if ordered:  # [Read Exclusive], lines 12–14
             self._count("read_exclusive")
             self._lr[x] = tuple(self._stack[t])
             self._read[x] = e
             return
         self._count("read_share")  # [Read Share], lines 15–18
-        w_tid = (w & TID_MASK) if w is not None else -1
+        w_tid = (w & TID_MASK) if w >= 0 else -1
         residual, raced = self._multicheck(
-            t, self._lw.get(x, EMPTY), w_tid, w)
-        if residual and w is not None:
+            t, self._lw[x] or EMPTY, w_tid, w)
+        if residual and w >= 0:
             # Deviation (DESIGN.md §4): see [Read Shared] above.
             self._ew.setdefault(x, {})[w_tid] = residual
+            self._eflags[x] |= 2
         if raced:
             self._race(i, site, x, t, "read", "write-read")
         self._lr[x] = {u: lr, t: tuple(self._stack[t])}
         vc = VectorClock.zeros(self.width)
         vc[u] = r >> TID_BITS
         vc[t] = time
-        self._read[x] = vc
+        self._read_vc[x] = vc
+        self._read[x] = META_VC
 
     def _lr_set_thread(self, x: int, t: int) -> None:
-        lr = self._lr.get(x)
+        lr = self._lr[x]
         if not isinstance(lr, dict):
-            lr = {} if lr is None else {}
+            lr = {}
             self._lr[x] = lr
         lr[t] = tuple(self._stack[t])
 
@@ -305,13 +368,18 @@ class SmartTrack(VectorClockAnalysis):
     def footprint_bytes(self) -> int:
         vc = _vc_bytes(self.width)
         total = self._base_footprint()
-        total += len(self._write) * (EPOCH_BYTES + DICT_ENTRY_BYTES)
-        for r in self._read.values():
-            total += DICT_ENTRY_BYTES
-            total += vc if isinstance(r, VectorClock) else EPOCH_BYTES
-        for cs in self._lw.values():
-            total += DICT_ENTRY_BYTES + len(cs) * 8  # entries shared
-        for lr in self._lr.values():
+        writes = sum(1 for w in self._write if w != PACKED_BOTTOM)
+        total += writes * (EPOCH_BYTES + DICT_ENTRY_BYTES)
+        reads = sum(1 for r in self._read if r != PACKED_BOTTOM)
+        shared = len(self._read_vc)
+        total += reads * DICT_ENTRY_BYTES
+        total += shared * vc + (reads - shared) * EPOCH_BYTES
+        for cs in self._lw:
+            if cs is not None:
+                total += DICT_ENTRY_BYTES + len(cs) * 8  # entries shared
+        for lr in self._lr:
+            if lr is None:
+                continue
             if isinstance(lr, dict):
                 for cs in lr.values():
                     total += DICT_ENTRY_BYTES + len(cs) * 8

@@ -35,7 +35,13 @@ from __future__ import annotations
 
 from typing import Dict, List, NamedTuple, Optional, Sequence, Set, Tuple
 
-import numpy as np
+try:  # optional: the [oracle] extra; a pure-Python fallback covers absence
+    import os as _os
+    if _os.environ.get("REPRO_NO_NUMPY"):  # same knob the kernels honor
+        raise ImportError("REPRO_NO_NUMPY set")
+    import numpy as np
+except ImportError:  # also exercised by the no-numpy CI job
+    np = None  # type: ignore[assignment]
 
 from repro.trace.event import (
     ACQUIRE,
@@ -192,21 +198,51 @@ def _rel_acq_edges(trace: Trace) -> List[Tuple[int, int]]:
     return edges
 
 
-def _forward_closure(n: int, carry_edges: Sequence[Tuple[int, int]],
-                     include_edges: Sequence[Tuple[int, int]]) -> np.ndarray:
-    """Single forward pass computing predecessor bitsets.
+class _BitMatrix:
+    """Pure-Python predecessor matrix: one arbitrary-width int bitset per
+    row (bit ``j`` of ``rows[i]`` ⇔ ``before[i, j]``).  Supports exactly
+    the reads the closure consumers perform: ``before[i, j]``."""
 
-    ``carry_edges`` (j, i) propagate j's predecessor set to i *without*
-    including j itself; ``include_edges`` also include j.  All edges must
-    point forward in trace order.
-    """
-    before = np.zeros((n, n), dtype=bool)
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: List[int]):
+        self.rows = rows
+
+    def __getitem__(self, key: Tuple[int, int]) -> bool:
+        i, j = key
+        return bool((self.rows[i] >> j) & 1)
+
+
+def _edge_maps(carry_edges, include_edges):
     carry: Dict[int, List[int]] = {}
     include: Dict[int, List[int]] = {}
     for j, i in carry_edges:
         carry.setdefault(i, []).append(j)
     for j, i in include_edges:
         include.setdefault(i, []).append(j)
+    return carry, include
+
+
+def _forward_closure(n: int, carry_edges: Sequence[Tuple[int, int]],
+                     include_edges: Sequence[Tuple[int, int]]) -> "np.ndarray":
+    """Single forward pass computing predecessor bitsets.
+
+    ``carry_edges`` (j, i) propagate j's predecessor set to i *without*
+    including j itself; ``include_edges`` also include j.  All edges must
+    point forward in trace order.
+    """
+    carry, include = _edge_maps(carry_edges, include_edges)
+    if np is None:
+        rows = [0] * n
+        for i in range(n):
+            r = rows[i]
+            for j in carry.get(i, ()):
+                r |= rows[j]
+            for j in include.get(i, ()):
+                r |= rows[j] | (1 << j)
+            rows[i] = r
+        return _BitMatrix(rows)
+    before = np.zeros((n, n), dtype=bool)
     for i in range(n):
         row = before[i]
         for j in carry.get(i, ()):
@@ -285,7 +321,6 @@ def _wcp_forward(n: int, carry: Sequence[Tuple[int, int]],
                  hard_edges: Sequence[Tuple[int, int]],
                  hb: np.ndarray, sp: np.ndarray) -> np.ndarray:
     """Forward pass for WCP (see :func:`compute_closure` comments)."""
-    before = np.zeros((n, n), dtype=bool)
     carry_map: Dict[int, List[int]] = {}
     base_map: Dict[int, List[int]] = {}
     hard_map: Dict[int, List[int]] = {}
@@ -295,6 +330,21 @@ def _wcp_forward(n: int, carry: Sequence[Tuple[int, int]],
         base_map.setdefault(i, []).append(j)
     for j, i in hard_edges:
         hard_map.setdefault(i, []).append(j)
+    if np is None:
+        rows = [0] * n
+        hb_rows = hb.rows
+        sp_rows = sp.rows
+        for i in range(n):
+            r = rows[i]
+            for j in carry_map.get(i, ()):
+                r |= rows[j]
+            for j in hard_map.get(i, ()):
+                r |= sp_rows[j] | rows[j] | (1 << j)
+            for j in base_map.get(i, ()):
+                r |= hb_rows[j] | rows[j] | (1 << j)
+            rows[i] = r
+        return _BitMatrix(rows)
+    before = np.zeros((n, n), dtype=bool)
     for i in range(n):
         row = before[i]
         for j in carry_map.get(i, ()):

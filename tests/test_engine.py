@@ -284,7 +284,8 @@ class TestSharedHB:
         trace = self._wcp_trace(rng)
         analyses = [create(n, trace) for n in
                     ("unopt-wcp", "fto-wcp", "st-wcp", "fto-dc")]
-        runner = MultiRunner(analyses)
+        # kernel entries replay solo; disable them so st-wcp joins the bank
+        runner = MultiRunner(analyses, use_kernels=False)
         # adoption is deferred to run() so a never-run runner leaves
         # its analyses untouched
         assert runner.hb_groups == []
@@ -351,7 +352,8 @@ class TestSharedHB:
         trace = self._wcp_trace(rng)
         boom = ExplodingWcp(trace, explode_at=40)
         survivors = [create("st-wcp", trace), create("fto-wcp", trace)]
-        runner = MultiRunner([boom] + survivors)
+        # kernel entries replay solo; disable them so the group forms
+        runner = MultiRunner([boom] + survivors, use_kernels=False)
         result = runner.run(trace)
         assert len(runner.hb_groups) == 1
         bank, members = runner.hb_groups[0]
@@ -451,7 +453,8 @@ class TestSameEpochFilter:
         # report with frozen HB clocks
         trace = random_trace(rng, n_events=200, threads=4, locks=3)
         a1, a2 = create("st-wcp", trace), create("fto-wcp", trace)
-        MultiRunner([a1, a2]).run(trace)
+        # kernel entries replay solo; disable them so adoption happens
+        MultiRunner([a1, a2], use_kernels=False).run(trace)
         with pytest.raises(RuntimeError, match="shared bank"):
             a1.run()
 

@@ -80,8 +80,8 @@ class TestCSLifecycle:
         analysis = SmartTrackDC(trace)
         analysis.run()
         # the last write's CS list entry clocks were finalized in place
-        for cs in analysis._lw.values():
-            for entry in cs:
+        for cs in analysis._lw:
+            for entry in cs or ():
                 assert all(v < INF for v in entry.clock)
 
     def test_stack_tracks_nesting(self):
