@@ -52,6 +52,7 @@ from repro.trace.format import (
     loads_trace,
     stream_trace,
 )
+from repro.server import ServerApp, ServerConfig
 from repro.trace.live import PipeTraceSource, TraceListener, send_trace
 from repro.trace.trace import Trace, TraceInfo, WellFormednessError
 
@@ -69,6 +70,8 @@ __all__ = [
     "PipeTraceSource",
     "RaceRecord",
     "RaceReport",
+    "ServerApp",
+    "ServerConfig",
     "SessionSnapshot",
     "Trace",
     "TraceBuilder",

@@ -37,6 +37,14 @@ works.  A second connection attempt is refused (one execution per
 session), and ``--timeout`` bounds both the wait for the producer and
 every read, so a stalled feed exits 2 instead of hanging.
 
+``serve --multi`` lifts the one-producer limit: the :mod:`repro.server`
+package keeps one detection session per *tenant* (producers name
+themselves via the hello handshake — ``generate --tenant``), sessions
+survive producer disconnects and resume from the last acked event, and
+``repro status SOCKET`` queries the server's control socket for
+per-session metrics.  The serve command itself is a thin shell over
+:func:`repro.server.serve_main`.
+
 ``analyze``, ``compare``, and ``serve`` take ``--workers N`` to shard
 the requested analyses across N worker processes
 (:class:`repro.core.parallel.ParallelRunner`): the trace is still
@@ -62,6 +70,7 @@ from typing import List, Optional
 
 from repro.core.registry import ANALYSIS_NAMES, MAIN_MATRIX, create
 from repro.core.engine import run_analyses, run_stream
+from repro.reporting import print_entries, print_report
 from repro.trace.format import TraceFormatError, dump_trace, load_trace
 from repro.trace.trace import WellFormednessError
 from repro.workloads.dacapo import DACAPO_SPECS, dacapo_trace
@@ -70,40 +79,18 @@ from repro.workloads.stats import characterize
 
 
 def _print_report(name: str, report, args) -> int:
-    """Print one analysis report; returns 1 if it found races, else 0."""
-    line = "{:<12} {} static / {} dynamic race(s)".format(
-        name, report.static_count, report.dynamic_count)
-    if args.memory:
-        line += "  [peak metadata {}K]".format(
-            report.peak_footprint_bytes // 1024)
-    print(line)
-    for race in report.races[: args.max_races]:
-        print("   event {:>6}  T{}  {} of x{}  ({})".format(
-            race.index, race.tid, race.access, race.var, race.kinds))
-    if report.dynamic_count > args.max_races:
-        print("   ... and {} more".format(
-            report.dynamic_count - args.max_races))
-    return 1 if report.dynamic_count else 0
+    """One analysis report (args-shaped shim over
+    :func:`repro.reporting.print_report`)."""
+    return print_report(name, report, max_races=args.max_races,
+                        memory=args.memory)
 
 
 def _print_entries(result, args, vindicate_trace=None) -> int:
-    """The per-analysis summary block shared by ``analyze [--stream]``
-    and ``serve``: one FAILED line or one report per entry.  With
-    ``vindicate_trace``, each racy report's first race is vindicated
-    inline (the materialized-trace ``analyze --vindicate`` path).
-    Returns 1 if any surviving analysis found races."""
-    races_found = 0
-    for entry in result.entries:
-        if entry.failure is not None:
-            print("{:<12} FAILED at event {}: {!r}".format(
-                entry.name, entry.failure.event_index, entry.failure.error))
-            continue
-        races_found |= _print_report(entry.name, entry.report, args)
-        if vindicate_trace is not None and entry.report.races:
-            from repro.vindication.vindicate import vindicate
-            verdict = vindicate(vindicate_trace, entry.report.first_race)
-            print("   vindication of first race: {}".format(verdict.verdict))
-    return races_found
+    """The per-analysis summary block (args-shaped shim over
+    :func:`repro.reporting.print_entries`)."""
+    return print_entries(result, max_races=args.max_races,
+                         memory=args.memory,
+                         vindicate_trace=vindicate_trace)
 
 
 def _cmd_analyze(args) -> int:
@@ -235,7 +222,8 @@ def _cmd_generate(args) -> int:
         from repro.trace.live import send_trace
         try:
             count = send_trace(trace, args.to_socket, binary=args.binary,
-                               connect_timeout=args.connect_timeout)
+                               connect_timeout=args.connect_timeout,
+                               tenant=args.tenant)
         except OSError as exc:
             # handled here, not by main(): a BrokenPipeError from the
             # server dropping mid-send must be a loud exit 2, not the
@@ -255,94 +243,53 @@ def _cmd_generate(args) -> int:
     return 0
 
 
-def _emit_live_race(name: str, race, emit_json: bool) -> None:
-    """Print one just-discovered race (flushed: the consumer is live)."""
-    if emit_json:
-        import json
-        print(json.dumps({"type": "race", "analysis": name,
-                          "event": race.index, "tid": race.tid,
-                          "var": race.var, "site": race.site,
-                          "access": race.access, "kinds": race.kinds},
-                         sort_keys=True), flush=True)
-    else:
-        print("race {:<12} event {:>6}  T{}  {} of x{}  ({})".format(
-            name, race.index, race.tid, race.access, race.var, race.kinds),
-            flush=True)
-
-
 def _cmd_serve(args) -> int:
-    from repro.core.engine import MultiRunner
-    from repro.trace.live import TraceListener
+    # a thin shell: every serving behavior lives in repro.server
+    from repro.server import ServerConfig, serve_main
+    config = ServerConfig(
+        endpoint=args.socket,
+        analyses=args.analysis or ["st-wdc"],
+        workers=max(getattr(args, "workers", 1), 1),
+        window=args.window,
+        timeout=args.timeout,
+        emit=args.emit,
+        max_races=args.max_races,
+        multi=args.multi,
+        max_pending_races=args.max_pending_races,
+        resume_grace=args.resume_grace,
+        idle_ttl=args.idle_ttl,
+    )
+    return serve_main(config)
 
-    analyses = args.analysis or ["st-wdc"]
-    emit_json = args.emit == "jsonl"
-    window = max(args.window, 1)
-    listener = TraceListener(args.socket)
-    print("serving on {} (analyses: {}; one producer, then exit)".format(
-        listener.describe(), ", ".join(analyses)), file=sys.stderr)
-    sys.stderr.flush()
-    source = listener.accept(timeout=args.timeout)
-    feed_error: Optional[BaseException] = None
-    workers = max(getattr(args, "workers", 1), 1)
-    with source:
-        info = source.require_info()
-        try:
-            if workers > 1:
-                from repro.core.parallel import ParallelRunner
-                runner = ParallelRunner(analyses, info, workers=workers)
-            else:
-                runner = MultiRunner(
-                    [create(name, info) for name in analyses])
-        except ValueError as exc:
-            # a remote producer controls these dimensions; an absurd
-            # header (e.g. more threads than packed epochs support) is a
-            # bad feed (exit 2), not a crash with an undocumented code
-            print("error: cannot analyze this feed: {}".format(exc),
-                  file=sys.stderr)
-            return 2
-        session = runner.session()
-        interrupted = False
-        try:
-            for name, race in session.drain(source, window=window):
-                _emit_live_race(name, race, emit_json)
-        except (TraceFormatError, OSError) as exc:
-            # the feed died (malformed bytes, timeout, reset/dropped
-            # connection), the session did not: emit what the surviving
-            # analyses know, then exit 2
-            feed_error = exc
-        except KeyboardInterrupt:
-            # Ctrl-C: stop consuming the feed but still emit the partial
-            # summary; finish() reaps any worker processes and unlinks
-            # their shared memory (exit 130, the conventional SIGINT code)
-            interrupted = True
-        result = session.finish()
-    races_found = 0
-    if emit_json:
-        import json
-        for entry in result.entries:
-            if entry.failure is not None:
-                print(json.dumps({"type": "failure", "analysis": entry.name,
-                                  "event": entry.failure.event_index,
-                                  "error": repr(entry.failure.error)},
-                                 sort_keys=True), flush=True)
-            else:
-                print(json.dumps({"type": "summary", "analysis": entry.name,
-                                  "dynamic": entry.report.dynamic_count,
-                                  "static": entry.report.static_count,
-                                  "events": result.events_processed},
-                                 sort_keys=True), flush=True)
-                races_found |= 1 if entry.report.dynamic_count else 0
-    else:
-        races_found = _print_entries(result, args)
-    if interrupted:
-        print("interrupted after {} events; partial summary above".format(
-            result.events_processed), file=sys.stderr)
-        return 130
-    if feed_error is not None:
-        print("error: live feed failed after {} events: {}".format(
-            result.events_processed, feed_error), file=sys.stderr)
+
+def _cmd_status(args) -> int:
+    import json
+    from repro.server.mi import query
+    try:
+        doc = query(args.socket, {"command": args.mi_command},
+                    timeout=args.timeout)
+    except (OSError, ValueError) as exc:
+        print("error: cannot query server at {}: {}".format(
+            args.socket, exc), file=sys.stderr)
         return 2
-    return 2 if not result.ok else races_found
+    if args.json or args.mi_command != "status":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    server = doc.get("server", {})
+    print("server {} (pid {}, up {:.0f}s, rss {}K; analyses: {})".format(
+        server.get("endpoint", args.socket), server.get("pid", "?"),
+        server.get("uptime_seconds", 0.0), server.get("rss_kb", 0),
+        ", ".join(server.get("analyses", []))))
+    rows = doc.get("results", {}).get("data", [])
+    print("{:<20} {:<10} {:>10} {:>10} {:>8} {:>10} {:>8} {:>6}".format(
+        "tenant", "state", "events", "total", "races", "events/s",
+        "lag(s)", "reconn"))
+    for row in rows:
+        tenant, state, events, total, races, eps, lag, reconnects = row
+        print("{:<20} {:<10} {:>10} {:>10} {:>8} {:>10} {:>8} {:>6}".format(
+            tenant, state, events, "-" if total < 0 else total, races,
+            eps, lag, reconnects))
+    return 0
 
 
 def _cmd_convert(args) -> int:
@@ -422,6 +369,17 @@ _CONTRACT_EPILOG = (
     "(`repro convert` translates between them).")
 
 
+def _version_string() -> str:
+    """The installed distribution's version, or the in-tree fallback
+    (suffixed so an uninstalled checkout is distinguishable)."""
+    try:
+        from importlib.metadata import version
+        return version("repro-smarttrack")
+    except Exception:
+        import repro
+        return getattr(repro, "__version__", "0.0.0") + "+uninstalled"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -429,6 +387,8 @@ def build_parser() -> argparse.ArgumentParser:
                     "reproduction)",
         epilog=_CONTRACT_EPILOG,
         formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--version", action="version",
+                        version="repro {}".format(_version_string()))
     sub = parser.add_subparsers(dest="command", required=True)
 
     def trace_parser(name, **kwargs):
@@ -513,12 +473,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="seconds to keep retrying the --to-socket "
                                "connection while the server starts "
                                "(default 10)")
+    generate.add_argument("--tenant", default=None, metavar="NAME",
+                          help="open a named, resumable session against a "
+                               "multi-tenant server (serve --multi) via "
+                               "the hello/welcome handshake; default: the "
+                               "legacy anonymous protocol")
     generate.set_defaults(func=_cmd_generate)
 
     serve = trace_parser(
         "serve",
-        help="bind a socket, await one live trace feed, and report races "
-             "as they are found")
+        help="bind a socket and analyze live trace feeds as they arrive "
+             "(one producer by default; --multi serves many tenants)")
     serve.add_argument("socket",
                        help="endpoint to bind: a unix socket path, or "
                             "HOST:PORT for TCP (port 0 picks a free port, "
@@ -541,8 +506,46 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-races", type=int, default=10,
                        help="dynamic races to list per analysis in the "
                             "final summary")
+    serve.add_argument("--multi", action="store_true",
+                       help="multi-tenant mode: accept any number of "
+                            "concurrent producers (one detection session "
+                            "per tenant, reconnect-with-resume via the "
+                            "hello handshake, status/MI control socket); "
+                            "default: the classic one-producer session")
+    serve.add_argument("--resume-grace", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="[--multi] how long a disconnected named "
+                            "tenant's session awaits a resume before it "
+                            "is sealed (default 30)")
+    serve.add_argument("--idle-ttl", type=float, default=300.0,
+                       metavar="SECONDS",
+                       help="[--multi] how long a finished session stays "
+                            "visible to `repro status` before eviction "
+                            "(default 300)")
+    serve.add_argument("--max-pending-races", type=int, default=None,
+                       metavar="N",
+                       help="bounded-state cap: keep at most N delivered "
+                            "race records per analysis (summary counts "
+                            "stay exact; default: keep all)")
     add_workers(serve, "served analyses")
     serve.set_defaults(func=_cmd_serve, memory=False)
+
+    status = sub.add_parser(
+        "status",
+        help="query a running multi-tenant server's control socket")
+    status.add_argument("socket",
+                        help="the server's trace endpoint (its control "
+                             "endpoint is derived: <path>.ctl for unix, "
+                             "port+1 for TCP)")
+    status.add_argument("--json", action="store_true",
+                        help="print the raw machine-interface document")
+    status.add_argument("--command", dest="mi_command", default="status",
+                        choices=("status", "metadata", "shutdown"),
+                        help="control command to send (default status; "
+                             "non-status replies always print as JSON)")
+    status.add_argument("--timeout", type=float, default=5.0,
+                        help="seconds to wait for the server (default 5)")
+    status.set_defaults(func=_cmd_status)
 
     convert = trace_parser(
         "convert",

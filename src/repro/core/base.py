@@ -127,12 +127,22 @@ class RaceReport:
     ``dynamic_count`` and ``static_count`` follow Table 7's counting: each
     access detecting one or more races counts as a single dynamic race, and
     dynamic races at the same program location are one static race.
+
+    ``trimmed_dynamic``/``trimmed_sites`` account for race *records* an
+    unbounded-feed session dropped to cap memory
+    (:meth:`Analysis.trim_races`): the counts stay exact — trimmed races
+    still contribute to ``dynamic_count``/``static_count`` — but their
+    :class:`RaceRecord` details are gone, so ``races`` holds only the
+    retained tail and ``racy_vars``/``races_on`` cover only that tail.
+    Both default to empty; offline runs never trim.
     """
 
     def __init__(self, analysis_name: str, relation: str, tier: str,
                  races: List[RaceRecord], events_processed: int,
                  peak_footprint_bytes: int = 0,
-                 case_counts: Optional[Dict[str, int]] = None):
+                 case_counts: Optional[Dict[str, int]] = None,
+                 trimmed_dynamic: int = 0,
+                 trimmed_sites: Optional[Set[int]] = None):
         self.analysis_name = analysis_name
         self.relation = relation
         self.tier = tier
@@ -140,16 +150,18 @@ class RaceReport:
         self.events_processed = events_processed
         self.peak_footprint_bytes = peak_footprint_bytes
         self.case_counts = case_counts or {}
+        self.trimmed_dynamic = trimmed_dynamic
+        self.trimmed_sites = frozenset(trimmed_sites or ())
 
     @property
     def dynamic_count(self) -> int:
         """Total dynamic races (one per racing access)."""
-        return len(self.races)
+        return self.trimmed_dynamic + len(self.races)
 
     @property
     def static_count(self) -> int:
         """Statically distinct races (distinct program locations)."""
-        return len({r.site for r in self.races})
+        return len({r.site for r in self.races} | self.trimmed_sites)
 
     @property
     def racy_vars(self) -> Set[int]:
@@ -206,6 +218,10 @@ class Analysis:
         # only run() requires materialized events.
         self.trace = trace
         self.races: List[RaceRecord] = []
+        # bounded-state accounting: races whose records were dropped by
+        # trim_races() but whose counts must survive into the report
+        self._trimmed_dynamic = 0
+        self._trimmed_sites: Set[int] = set()
         self._events_processed = 0
         self._dispatch = None  # compiled lazily by dispatch_table()
         if collect_cases:
@@ -324,7 +340,31 @@ class Analysis:
         self._events_processed = events_processed
         return RaceReport(
             self.name, self.relation, self.tier, self.races,
-            self._events_processed, peak_footprint, self.case_counts)
+            self._events_processed, peak_footprint, self.case_counts,
+            trimmed_dynamic=self._trimmed_dynamic,
+            trimmed_sites=self._trimmed_sites)
+
+    def trim_races(self, count: int) -> int:
+        """Drop the ``count`` oldest retained race records, keeping the
+        report's counts exact.
+
+        The bounded-state hook for infinite live feeds (see
+        :class:`~repro.core.engine.MultiRunner`'s ``max_pending_races``):
+        a race-heavy tenant would otherwise grow ``races`` without bound.
+        The dropped records' dynamic count and distinct sites are folded
+        into the trimmed accounting :meth:`finish` hands to
+        :class:`RaceReport`, so ``dynamic_count``/``static_count`` are
+        unaffected — only the per-race details of the dropped prefix are
+        gone.  Returns the number of records actually dropped.
+        """
+        count = min(count, len(self.races))
+        if count <= 0:
+            return 0
+        dropped = self.races[:count]
+        del self.races[:count]
+        self._trimmed_dynamic += count
+        self._trimmed_sites.update(r.site for r in dropped)
+        return count
 
     # -- race reporting ----------------------------------------------------
     def _race(self, i: int, site: int, x: int, t: int, access: str,

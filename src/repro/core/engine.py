@@ -194,16 +194,21 @@ class SessionSnapshot:
     """
 
     __slots__ = ("events_processed", "dynamic_counts", "static_counts",
-                 "failures")
+                 "failures", "events_acked")
 
     def __init__(self, events_processed: int,
                  dynamic_counts: Dict[str, int],
                  static_counts: Dict[str, int],
-                 failures: List[AnalysisFailure]):
+                 failures: List[AnalysisFailure],
+                 events_acked: Optional[int] = None):
         self.events_processed = events_processed
         self.dynamic_counts = dynamic_counts
         self.static_counts = static_counts
         self.failures = failures
+        #: the resume-safe offset (see :attr:`EngineSession.events_acked`);
+        #: equals ``events_processed`` for in-process sessions
+        self.events_acked = (events_processed if events_acked is None
+                             else events_acked)
 
     def __repr__(self) -> str:
         return "SessionSnapshot({} events, {} dynamic races, {} failed)".format(
@@ -291,11 +296,27 @@ class EngineSession:
         self._events_seen = 0
         self._reported = 0  # last count handed to the progress callback
         self._races_seen = [len(e.analysis.races) for e in self.entries]
+        self._max_pending = runner.max_pending_races
         self._finished = False
 
     @property
     def events_processed(self) -> int:
         """Source events consumed so far (filtered accesses included)."""
+        return self._events_seen
+
+    @property
+    def events_acked(self) -> int:
+        """Events whose analysis effects are fully applied — the safe
+        resume offset for a reconnecting producer.
+
+        Identical to :attr:`events_processed` by construction: a failing
+        source replays its partially decoded chunk before the error
+        propagates, so every counted event reached every live analysis
+        and a producer that resends from this offset reproduces the
+        uninterrupted run exactly (the server's reconnect protocol and
+        its fuzz test rely on this).  Bytes of a *partially decoded*
+        event are never counted, so the failed event is resent whole.
+        """
         return self._events_seen
 
     @property
@@ -462,7 +483,7 @@ class EngineSession:
             self._events_seen = i + 1
             if gc_was_enabled:
                 gc.enable()
-        return self.pending_races()
+        return self._deliver()
 
     def feed_decoded(self, indices, kinds, tids, targets, sites, n: int,
                      events_seen: int) -> List[tuple]:
@@ -519,7 +540,15 @@ class EngineSession:
             self._events_seen = events_seen
             if gc_was_enabled:
                 gc.enable()
-        return self.pending_races()
+        return self._deliver()
+
+    def _deliver(self) -> List[tuple]:
+        """Hand out the pending races, then enforce the bounded-state
+        cap: once delivered, old race records may be trimmed."""
+        races = self.pending_races()
+        if self._max_pending is not None:
+            self.trim_delivered(self._max_pending)
+        return races
 
     def drain(self, events: Union[Trace, Iterable[Event]],
               window: int = 4096) -> Iterator[tuple]:
@@ -574,6 +603,32 @@ class EngineSession:
             out.sort(key=lambda pair: pair[1].index)
         return out
 
+    def trim_delivered(self, keep: int = 0) -> int:
+        """Drop already-delivered race records beyond ``keep`` per
+        analysis, keeping report counts exact.
+
+        The bounded-state half of serving an infinite feed: every race a
+        :meth:`feed` call returned is still retained by its analysis (so
+        :meth:`finish` can build the full report), which grows without
+        bound on a race-heavy tenant.  This trims each analysis' oldest
+        *delivered* records — never ones a caller has not seen — via
+        :meth:`~repro.core.base.Analysis.trim_races`, so
+        ``dynamic_count``/``static_count`` in the final reports are
+        unchanged and only the trimmed records' details are gone.
+        Sessions opened with ``max_pending_races`` call this
+        automatically after each delivery.  Returns the number of
+        records dropped across all analyses.
+        """
+        dropped = 0
+        seen = self._races_seen
+        for idx, entry in enumerate(self.entries):
+            excess = min(seen[idx], len(entry.analysis.races)) - keep
+            if excess > 0:
+                trimmed = entry.analysis.trim_races(excess)
+                seen[idx] -= trimmed
+                dropped += trimmed
+        return dropped
+
     # -- observing ---------------------------------------------------------
     def snapshot(self) -> SessionSnapshot:
         """The session's progress so far (see :class:`SessionSnapshot`)."""
@@ -581,12 +636,16 @@ class EngineSession:
         static: Dict[str, int] = {}
         for entry in self.entries:
             if entry.failure is None and entry.name not in dynamic:
-                races = entry.analysis.races
-                dynamic[entry.name] = len(races)
-                static[entry.name] = len({r.site for r in races})
+                analysis = entry.analysis
+                races = analysis.races
+                dynamic[entry.name] = (analysis._trimmed_dynamic
+                                       + len(races))
+                static[entry.name] = len({r.site for r in races}
+                                         | analysis._trimmed_sites)
         return SessionSnapshot(
             self._events_seen, dynamic, static,
-            [e.failure for e in self.entries if e.failure is not None])
+            [e.failure for e in self.entries if e.failure is not None],
+            events_acked=self.events_acked)
 
     # -- sealing -----------------------------------------------------------
     def finish(self) -> MultiResult:
@@ -677,18 +736,28 @@ class MultiRunner:
         sampling is off; False forces the pure-Python replay paths.
         Reports are bit-identical either way (the fuzz sweep asserts
         this).
+    max_pending_races:
+        Bounded-state knob for unbounded live feeds (None = off, the
+        offline default): each session trims already-delivered race
+        records down to this many per analysis after every feed
+        (:meth:`EngineSession.trim_delivered`), so a race-heavy tenant's
+        memory stays bounded while ``dynamic_count``/``static_count`` in
+        the final reports remain exact.
     """
 
     def __init__(self, analyses: Sequence[Analysis], sample_every: int = 0,
                  progress: Optional[Callable[[int], None]] = None,
                  chunk_events: int = 8192, share_hb: bool = True,
-                 use_kernels: Optional[bool] = None):
+                 use_kernels: Optional[bool] = None,
+                 max_pending_races: Optional[int] = None):
         if not analyses:
             raise ValueError("MultiRunner needs at least one analysis")
         self.entries = [EngineEntry(a) for a in analyses]
         self.sample_every = sample_every
         self.progress = progress
         self.chunk_events = max(chunk_events, 1)
+        self.max_pending_races = (None if max_pending_races is None
+                                  else max(max_pending_races, 0))
         #: shared-HB groups: list of (bank, [entries]) — usually 0 or 1.
         #: Populated at the start of :meth:`run` (adoption permanently
         #: rebinds an analysis' HB state, so it must not happen for a

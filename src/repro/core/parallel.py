@@ -56,6 +56,7 @@ from __future__ import annotations
 import os
 import queue as queue_module
 import signal
+import threading
 import traceback
 from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
@@ -74,6 +75,16 @@ RING_SLOTS = 4
 #: parent's cumulative source-event count after this chunk.
 _HEADER_WORDS = 2
 _WORD = 8  # bytes per int64 slot word
+
+#: Serializes forking workers against every parent-side interaction with
+#: multiprocessing's resource tracker: shm/semaphore creation registers
+#: (transport build) and shm unlink unregisters (teardown), both under
+#: the tracker's process-private heap RLock.  A fork taken in thread A
+#: while thread B holds that RLock hands every worker a copy that is
+#: locked forever — so builds, forks, and teardowns of *different*
+#: sessions must not overlap.  RLock: the construction failure path
+#: tears down while the build still holds it.
+_FORK_LOCK = threading.RLock()
 
 
 class WorkerDied(RuntimeError):
@@ -199,12 +210,19 @@ class _ShmRing:
             create=True, size=RING_SLOTS * self.slot_words * _WORD)
         self.free = ctx.Semaphore(RING_SLOTS)
         self.filled = ctx.Semaphore(0)
+        self._fork = ctx.get_start_method() == "fork"
         self._words = memoryview(self.shm.buf).cast("q")
         self._slot = 0
 
     def worker_args(self) -> tuple:
-        return ("shm", self.shm.name, self.chunk_events, self.free,
-                self.filled)
+        # Forked workers take the parent's SharedMemory object itself
+        # (the mapping survives the fork), NOT the name: attaching by
+        # name calls resource_tracker.register, whose heap RLock may
+        # have been captured in a locked state by the fork — see
+        # _FORK_LOCK and _ShmRingReader.  Spawned workers get the name;
+        # a fresh process attaches safely.
+        return ("shm", self.shm if self._fork else self.shm.name,
+                self.chunk_events, self.free, self.filled)
 
     def put(self, bufs, n: int, events_seen: int, alive) -> None:
         """Publish one chunk; raises :class:`WorkerDied` if the consumer
@@ -236,15 +254,26 @@ class _ShmRing:
 class _ShmRingReader:
     """Worker side of the ring: attach by name, drain slots."""
 
-    def __init__(self, shm_name: str, chunk_events: int, free, filled):
-        from multiprocessing import shared_memory
+    def __init__(self, shm_or_name, chunk_events: int, free, filled):
+        if isinstance(shm_or_name, str):
+            # Spawned worker: attach by name.  This registers with the
+            # worker's (= the parent's) resource tracker — a set no-op
+            # there, and the parent's single unlink retires the segment
+            # cleanly; do NOT unregister here (a second unregister
+            # would KeyError in the tracker when the parent unlinks).
+            from multiprocessing import shared_memory
 
-        # Workers share the parent's resource-tracker process, so this
-        # attach's duplicate registration is a set no-op there and the
-        # parent's single unlink retires the segment cleanly; do NOT
-        # unregister here (a second unregister would KeyError in the
-        # tracker when the parent unlinks).
-        self.shm = shared_memory.SharedMemory(name=shm_name)
+            self.shm = shared_memory.SharedMemory(name=shm_or_name)
+            self._owns_shm = True
+        else:
+            # Forked worker: the parent's mapping came through the
+            # fork.  Never attach by name here — SharedMemory.__init__
+            # unconditionally calls resource_tracker.register, and the
+            # tracker's heap RLock may have been forked in a locked
+            # state (another parent thread mid-register/unregister),
+            # deadlocking this process on a lock no thread of it owns.
+            self.shm = shm_or_name
+            self._owns_shm = False
         self.chunk_events = chunk_events
         self.slot_words = _HEADER_WORDS + 5 * chunk_events
         self.free = free
@@ -274,7 +303,12 @@ class _ShmRingReader:
 
     def close(self) -> None:
         self._words.release()
-        self.shm.close()
+        # An inherited mapping is left alone: forked copies of the
+        # parent's exported memoryviews pin its mmap (closing would
+        # raise BufferError), and the worker process is about to exit
+        # anyway, which releases the descriptor and the mapping.
+        if self._owns_shm:
+            self.shm.close()
 
 
 class _PickleChannel:
@@ -326,6 +360,27 @@ def _attach_transport(args):
 # worker process
 # ---------------------------------------------------------------------------
 
+def _close_inherited_sockets() -> None:
+    """Close every socket descriptor in this (worker) process.
+
+    Workers communicate over pipes and shared memory only; see the
+    call site in :func:`_worker_main` for why inherited sockets are
+    actively harmful.  Best-effort: without ``/proc`` the scan walks a
+    bounded descriptor range.
+    """
+    import stat as stat_module
+    try:
+        fds = [int(name) for name in os.listdir("/proc/self/fd")]
+    except OSError:  # pragma: no cover - no /proc
+        fds = list(range(3, 256))
+    for fd in fds:
+        try:
+            if stat_module.S_ISSOCK(os.fstat(fd).st_mode):
+                os.close(fd)
+        except OSError:
+            continue
+
+
 def _worker_main(shard_id: int, names: Sequence[str], info_dims: tuple,
                  transport_args: tuple, result_q, sample_every: int,
                  chunk_events: int, crash_after: Optional[int]) -> None:
@@ -355,6 +410,14 @@ def _worker_main(shard_id: int, names: Sequence[str], info_dims: tuple,
         signal.signal(signal.SIGINT, signal.SIG_IGN)
     except (ValueError, OSError):  # pragma: no cover - exotic start method
         pass
+    # A forked worker inherits every socket the parent had open —
+    # listening endpoints, accepted producer connections, anything a
+    # threaded server was serving at fork time.  Holding those copies
+    # is worse than useless: a peer's close only produces EOF once the
+    # *last* descriptor drops, so an inherited connection can stall the
+    # parent's reads until its timeout.  Workers speak only pipes and
+    # shared memory; drop every inherited socket.
+    _close_inherited_sockets()
     rx = None
     try:
         info = TraceInfo(*info_dims)
@@ -450,31 +513,33 @@ class ParallelSession:
         self._i = -1
         self.entries = [ShardEntry(name, -1) for name in runner.names]
         ctx = _mp_context()
-        self._results = ctx.Queue()
         self._shards: List[_Shard] = []
         kind = _transport_kind()
         info = runner.info
         info_dims = (info.num_threads, info.num_locks, info.num_vars,
                      info.num_volatiles, info.num_classes, info.num_events)
-        try:
-            for shard_id, positions in enumerate(runner.shards):
-                tx = (_ShmRing(ctx, chunk) if kind == "shm"
-                      else _PickleChannel(ctx, chunk))
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(shard_id, [runner.names[p] for p in positions],
-                          info_dims, tx.worker_args(), self._results,
-                          runner.sample_every, chunk,
-                          runner._crash_after.get(shard_id)),
-                    daemon=True)
-                shard = _Shard(shard_id, positions, tx, proc)
-                for p in positions:
-                    self.entries[p].shard = shard_id
-                self._shards.append(shard)
-                proc.start()
-        except BaseException:
-            self._teardown()
-            raise
+        with _FORK_LOCK:
+            self._results = ctx.Queue()
+            try:
+                for shard_id, positions in enumerate(runner.shards):
+                    tx = (_ShmRing(ctx, chunk) if kind == "shm"
+                          else _PickleChannel(ctx, chunk))
+                    proc = ctx.Process(
+                        target=_worker_main,
+                        args=(shard_id,
+                              [runner.names[p] for p in positions],
+                              info_dims, tx.worker_args(), self._results,
+                              runner.sample_every, chunk,
+                              runner._crash_after.get(shard_id)),
+                        daemon=True)
+                    shard = _Shard(shard_id, positions, tx, proc)
+                    for p in positions:
+                        self.entries[p].shard = shard_id
+                    self._shards.append(shard)
+                    proc.start()
+            except BaseException:
+                self._teardown()
+                raise
 
     def _entries_at(self, positions: List[int]) -> List[ShardEntry]:
         return [self.entries[p] for p in positions]
@@ -482,6 +547,20 @@ class ParallelSession:
     @property
     def events_processed(self) -> int:
         """Source events decoded so far (filtered accesses included)."""
+        return self._i + 1
+
+    @property
+    def events_acked(self) -> int:
+        """The resume-safe offset a reconnecting producer may resend
+        from (mirrors :attr:`~repro.core.engine.EngineSession.events_acked`).
+
+        For the sharded pass this is the parent's decode-and-broadcast
+        count: a chunk handed to the rings is replayed by every healthy
+        worker before it reads the next slot, and a worker that dies
+        instead surfaces as a detached shard in the final report — so
+        resending from this offset never double-applies an event to a
+        shard that will still produce a report.
+        """
         return self._i + 1
 
     # -- decode (parent side) ---------------------------------------------
@@ -642,7 +721,7 @@ class ParallelSession:
 
     # -- driving -----------------------------------------------------------
     def drain(self, events: Union[Trace, Iterable[Event]],
-              window: int = 0) -> Iterator[tuple]:
+              window: int = 0, seal: bool = True) -> Iterator[tuple]:
         """Feed ``events`` to exhaustion, yielding each ``(analysis_name,
         RaceRecord)`` pair as a worker reports it.
 
@@ -652,6 +731,14 @@ class ParallelSession:
         drain window.  On a source error the decoded prefix is flushed,
         every worker's results are collected and yielded, and then the
         error propagates with the session still :meth:`finish`-able.
+
+        ``seal=False`` keeps the workers alive past exhaustion (and past
+        a source error): no end-of-stream marker is broadcast, so a
+        *later* ``drain`` call may feed more events to the same pass —
+        the multi-tenant server's reconnect-with-resume path.  Races a
+        worker reports after the last poll of an unsealed drain surface
+        in the next drain (or in :meth:`finish`'s merged reports, which
+        are complete either way).
         """
         if self._finished:
             raise RuntimeError("parallel session is finished")
@@ -668,13 +755,15 @@ class ParallelSession:
             while pending:
                 yield pending.pop(0)
             if err is not None:
-                self._collect(pending)
-                while pending:
-                    yield pending.pop(0)
+                if seal:
+                    self._collect(pending)
+                    while pending:
+                        yield pending.pop(0)
                 raise err
             if exhausted:
                 break
-        self._collect(pending)
+        if seal:
+            self._collect(pending)
         while pending:
             yield pending.pop(0)
 
@@ -719,13 +808,33 @@ class ParallelSession:
         for shard in self._shards:
             if shard.proc.pid is not None:
                 shard.proc.join(timeout=5)
-        for shard in self._shards:
+                if shard.proc.is_alive():  # pragma: no cover - wedged
+                    shard.proc.kill()
+                    shard.proc.join(timeout=5)
             try:
-                shard.tx.close()
-            except Exception:  # pragma: no cover - best-effort cleanup
+                shard.proc.close()  # releases the sentinel fd
+            except ValueError:  # pragma: no cover - still not reaped
                 pass
+        with _FORK_LOCK:
+            # transport close unregisters/unlinks shared memory — a
+            # tracker interaction that must not overlap another
+            # session's fork (see _FORK_LOCK)
+            for shard in self._shards:
+                try:
+                    shard.tx.close()
+                except Exception:  # pragma: no cover - best-effort
+                    pass
         self._results.close()
         self._results.cancel_join_thread()
+        # Queue.close() is a producer-side no-op in this process (we only
+        # ever get()); the pipe fds would otherwise live until the session
+        # object is garbage-collected — too long for a server that keeps
+        # sealed sessions in its registry.
+        for conn in (self._results._reader, self._results._writer):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
 
 
 class ParallelRunner:

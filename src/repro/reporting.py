@@ -1,0 +1,121 @@
+"""Shared result formatting for the CLI and the detection server.
+
+``repro analyze``, ``repro serve`` (single mode), and every tenant
+summary a multi-tenant server prints must be *byte-identical* for the
+same trace — that is what lets the server-smoke CI job diff a tenant's
+summary block against a solo ``repro analyze`` run.  The only way to
+keep three call sites byte-identical is to have one formatter, so the
+helpers live here rather than in :mod:`repro.cli` (where they started)
+or :mod:`repro.server`.
+
+Everything writes through an explicit ``out`` stream (default
+``sys.stdout``); the server passes a per-call buffer so one tenant's
+summary block lands atomically even with many producer threads
+printing.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Optional
+
+__all__ = [
+    "emit_live_race",
+    "emit_summary_jsonl",
+    "print_entries",
+    "print_report",
+]
+
+
+def print_report(name: str, report, max_races: int = 10,
+                 memory: bool = False, out=None) -> int:
+    """Print one analysis report; returns 1 if it found races, else 0."""
+    out = out or sys.stdout
+    line = "{:<12} {} static / {} dynamic race(s)".format(
+        name, report.static_count, report.dynamic_count)
+    if memory:
+        line += "  [peak metadata {}K]".format(
+            report.peak_footprint_bytes // 1024)
+    print(line, file=out)
+    for race in report.races[:max_races]:
+        print("   event {:>6}  T{}  {} of x{}  ({})".format(
+            race.index, race.tid, race.access, race.var, race.kinds),
+            file=out)
+    if report.dynamic_count > max_races:
+        print("   ... and {} more".format(
+            report.dynamic_count - max_races), file=out)
+    return 1 if report.dynamic_count else 0
+
+
+def print_entries(result, max_races: int = 10, memory: bool = False,
+                  vindicate_trace=None, out=None) -> int:
+    """The per-analysis summary block shared by ``analyze [--stream]``
+    and ``serve``: one FAILED line or one report per entry.  With
+    ``vindicate_trace``, each racy report's first race is vindicated
+    inline (the materialized-trace ``analyze --vindicate`` path).
+    Returns 1 if any surviving analysis found races."""
+    out = out or sys.stdout
+    races_found = 0
+    for entry in result.entries:
+        if entry.failure is not None:
+            print("{:<12} FAILED at event {}: {!r}".format(
+                entry.name, entry.failure.event_index, entry.failure.error),
+                file=out)
+            continue
+        races_found |= print_report(entry.name, entry.report,
+                                    max_races=max_races, memory=memory,
+                                    out=out)
+        if vindicate_trace is not None and entry.report.races:
+            from repro.vindication.vindicate import vindicate
+            verdict = vindicate(vindicate_trace, entry.report.first_race)
+            print("   vindication of first race: {}".format(verdict.verdict),
+                  file=out)
+    return races_found
+
+
+def emit_live_race(name: str, race, emit_json: bool,
+                   tenant: Optional[str] = None, out=None) -> None:
+    """Print one just-discovered race (flushed: the consumer is live).
+
+    ``tenant`` tags the line with its session in multi-tenant mode; the
+    single-producer output (``tenant=None``) is byte-identical to what
+    ``repro serve`` has always printed.
+    """
+    out = out or sys.stdout
+    if emit_json:
+        payload = {"type": "race", "analysis": name, "event": race.index,
+                   "tid": race.tid, "var": race.var, "site": race.site,
+                   "access": race.access, "kinds": race.kinds}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        print(json.dumps(payload, sort_keys=True), file=out, flush=True)
+    else:
+        prefix = "" if tenant is None else "[{}] ".format(tenant)
+        print("{}race {:<12} event {:>6}  T{}  {} of x{}  ({})".format(
+            prefix, name, race.index, race.tid, race.access, race.var,
+            race.kinds), file=out, flush=True)
+
+
+def emit_summary_jsonl(result, tenant: Optional[str] = None,
+                       out=None) -> int:
+    """The ``--emit jsonl`` final summary: one ``failure`` or
+    ``summary`` object per analysis.  Returns 1 if any surviving
+    analysis found races."""
+    out = out or sys.stdout
+    races_found = 0
+    for entry in result.entries:
+        if entry.failure is not None:
+            payload = {"type": "failure", "analysis": entry.name,
+                       "event": entry.failure.event_index,
+                       "error": repr(entry.failure.error)}
+        else:
+            payload = {"type": "summary", "analysis": entry.name,
+                       "dynamic": entry.report.dynamic_count,
+                       "static": entry.report.static_count,
+                       "events": result.events_processed}
+            races_found |= 1 if entry.report.dynamic_count else 0
+        if tenant is not None:
+            payload["tenant"] = tenant
+        print(json.dumps(payload, sort_keys=True), file=out, flush=True)
+    return races_found

@@ -1,0 +1,40 @@
+"""Always-on detection serving: many producers, one server process.
+
+SmartTrack's economics (paper §1: predictive detection at overheads
+close to plain HB) only pay off if detection can run *continuously in
+deployment* — and a deployment has many monitored programs, not one.
+This package turns the single-producer ``repro serve`` loop into a
+multi-tenant server:
+
+* :class:`~repro.server.app.ServerApp` — accept loop + registry of
+  :class:`~repro.server.session.TenantSession`, one per tenant, each
+  wrapping an incremental engine session that survives its producer's
+  disconnects (reconnect-with-resume via the hello/welcome frames in
+  :mod:`repro.trace.live`), with idle eviction and per-session metrics.
+* :mod:`repro.server.mi` — an LTTng-MI-style machine interface
+  (metadata + results phases as JSON documents) over a control socket
+  derived from the trace endpoint; ``repro status`` is its client.
+* :func:`~repro.server.app.run_single` — the legacy one-producer body,
+  byte-compatible with the historical CLI.
+
+:func:`serve_main` is the CLI's single entry point; ``repro.cli``
+contains nothing but argument parsing.
+"""
+
+from repro.server.app import ServerApp, ServerConfig, run_single
+
+__all__ = [
+    "ServerApp",
+    "ServerConfig",
+    "run_single",
+    "serve_main",
+]
+
+
+def serve_main(config: ServerConfig) -> int:
+    """Run a detection server to completion and return the CLI exit
+    code: the multi-tenant :class:`ServerApp` when ``config.multi``,
+    else the byte-compatible single-producer path."""
+    if config.multi:
+        return ServerApp(config).run()
+    return run_single(config)

@@ -1,0 +1,189 @@
+"""Machine interface for the detection server, LTTng-MI style.
+
+The control socket speaks one-shot JSON: a client connects, sends a
+single request line (``{"command": "status"}``), reads a single JSON
+document back, and the connection closes.  Documents follow the
+LTTng-analyses MI shape — a *metadata phase* describing the producer
+and its table classes (column titles and types, so a generic client can
+render results it has never seen), and a *results phase* carrying rows
+against one of those classes:
+
+* ``metadata`` — producer name/version plus :data:`TABLE_CLASSES`.
+* ``status``   — a ``sessions`` table (one row per tenant: state,
+  events, races, events/s, lag, reconnects) plus server-level gauges
+  (uptime, RSS, PID, session counts).
+* ``races``    — a ``races`` table replaying one tenant's recently
+  retained races (bounded by the server's ``retain_races``).
+* ``shutdown`` — asks the server to wind down; replies before it does.
+
+The control endpoint derives from the trace endpoint —
+``<path>.ctl`` for Unix sockets, ``port+1`` for TCP — so ``repro
+status SOCKET`` needs only the address the producers already know.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Optional
+
+from repro.trace.live import connect_endpoint, parse_endpoint
+
+__all__ = [
+    "MI_VERSION",
+    "TABLE_CLASSES",
+    "control_endpoint",
+    "handle_command",
+    "metadata_doc",
+    "query",
+    "races_doc",
+    "status_doc",
+]
+
+#: The machine-interface schema version (bump on breaking changes).
+MI_VERSION = "1.0"
+
+#: Table classes announced in the metadata phase; every results-phase
+#: document names the class its rows conform to.
+TABLE_CLASSES = {
+    "sessions": {
+        "title": "Tenant detection sessions",
+        "column-descriptions": [
+            {"title": "tenant", "type": "string"},
+            {"title": "state", "type": "string"},
+            {"title": "events", "type": "int"},
+            {"title": "total", "type": "int"},
+            {"title": "races", "type": "int"},
+            {"title": "events-per-second", "type": "number"},
+            {"title": "lag-seconds", "type": "number"},
+            {"title": "reconnects", "type": "int"},
+        ],
+    },
+    "races": {
+        "title": "Recently detected races",
+        "column-descriptions": [
+            {"title": "analysis", "type": "string"},
+            {"title": "event", "type": "int"},
+            {"title": "tid", "type": "int"},
+            {"title": "var", "type": "int"},
+            {"title": "site", "type": "int"},
+            {"title": "access", "type": "string"},
+            {"title": "kinds", "type": "string"},
+        ],
+    },
+}
+
+
+def metadata_doc() -> dict:
+    """The metadata phase: who is producing and what its tables mean."""
+    import repro
+    return {
+        "class": "metadata",
+        "mi-version": MI_VERSION,
+        "producer-name": "repro serve",
+        "producer-version": getattr(repro, "__version__", "unknown"),
+        "table-classes": TABLE_CLASSES,
+    }
+
+
+def status_doc(app) -> dict:
+    """The results phase for ``status``: one ``sessions`` row per
+    tenant plus server-level gauges."""
+    status = app.status()
+    rows = [[row["tenant"], row["state"], row["events"],
+             -1 if row["total"] is None else row["total"], row["races"],
+             round(row["events_per_second"], 1),
+             round(row["lag_seconds"], 3), row["reconnects"]]
+            for row in status.pop("sessions")]
+    return {
+        "class": "results",
+        "mi-version": MI_VERSION,
+        "results": {"class": "sessions", "data": rows},
+        "server": status,
+    }
+
+
+def races_doc(app, tenant: str) -> dict:
+    """The results phase for ``races``: one tenant's retained races."""
+    with app._registry_lock:
+        sess = app.sessions.get(tenant)
+    if sess is None:
+        return {"class": "error",
+                "error": "unknown tenant {!r}".format(tenant)}
+    with sess.lock:
+        rows = [[r["analysis"], r["event"], r["tid"], r["var"], r["site"],
+                 r["access"], r["kinds"]] for r in sess.recent_races]
+    return {
+        "class": "results",
+        "mi-version": MI_VERSION,
+        "results": {"class": "races", "data": rows},
+        "tenant": tenant,
+        "races-total": sess.races_total,
+    }
+
+
+def handle_command(app, request) -> dict:
+    """Dispatch one control request against a running
+    :class:`~repro.server.app.ServerApp`; always returns a document
+    (errors are documents too — the control socket never goes silent).
+    """
+    if not isinstance(request, dict) or "command" not in request:
+        return {"class": "error",
+                "error": "request must be a JSON object with a 'command'"}
+    command = request["command"]
+    if command == "metadata":
+        return metadata_doc()
+    if command == "status":
+        return status_doc(app)
+    if command == "races":
+        tenant = request.get("tenant")
+        if not isinstance(tenant, str):
+            return {"class": "error",
+                    "error": "races needs a 'tenant' string"}
+        return races_doc(app, tenant)
+    if command == "shutdown":
+        app.stop()
+        return {"class": "results", "mi-version": MI_VERSION,
+                "results": {"class": "shutdown", "data": []}}
+    return {"class": "error",
+            "error": "unknown command {!r}".format(command)}
+
+
+def control_endpoint(spec: str) -> str:
+    """Map a trace endpoint spec to its control endpoint (the client
+    half of the derivation the server applies at bind time)."""
+    kind, addr = parse_endpoint(spec)
+    if kind == "unix":
+        return addr + ".ctl"
+    host, port = addr
+    return "{}:{}".format(host, port + 1)
+
+
+def query(spec: str, request: dict,
+          timeout: Optional[float] = 5.0,
+          control: Optional[str] = None) -> dict:
+    """Send one control request to the server at trace endpoint
+    ``spec`` and return the reply document (``control`` overrides the
+    derived control endpoint).  Raises ``OSError`` when the server is
+    unreachable and :class:`ValueError` on a garbled reply.
+
+    Example::
+
+        query("/tmp/repro.sock", {"command": "status"})["server"]["pid"]
+    """
+    endpoint = control if control is not None else control_endpoint(spec)
+    sock = connect_endpoint(endpoint, connect_timeout=timeout)
+    try:
+        sock.settimeout(timeout)
+        sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
+        data = b""
+        while b"\n" not in data and len(data) < (1 << 22):
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            data += chunk
+        if not data:
+            raise ValueError("empty control reply")
+        return json.loads(data.split(b"\n", 1)[0].decode("utf-8"))
+    finally:
+        sock.close()

@@ -221,6 +221,10 @@ class BinaryTraceStream(TraceStreamBase):
         count = 0
         eof = False
         Event_ = Event
+        # the header's declared count is authoritative: once reached,
+        # stop without another read — a live source would otherwise
+        # block waiting for an EOF the producer may never need to send
+        declared = self.info.num_events
         try:
             while True:
                 if pos >= n:
@@ -315,6 +319,8 @@ class BinaryTraceStream(TraceStreamBase):
                         "bad event kind {} at event {}".format(kind, count))
                 count += 1
                 yield Event_(head >> 4, kind, target, site)
+                if count == declared:
+                    return
         finally:
             self.events_read = count
             if self._owns_fp:

@@ -49,23 +49,35 @@ from __future__ import annotations
 import errno
 import io
 import os
+import re
 import select
 import socket
 import stat
 import time
+from itertools import islice
 from typing import Iterator, Optional, Tuple, Union
 
 from repro.trace.event import Event
-from repro.trace.stream import TraceStreamBase
+from repro.trace.stream import TraceFormatError, TraceStreamBase
 from repro.trace.trace import Trace, TraceInfo
 
 __all__ = [
+    "HANDSHAKE_LIMIT",
+    "HELLO_MAGIC",
     "PipeTraceSource",
+    "REFUSE_MAGIC",
     "SocketTraceSource",
     "TraceListener",
+    "WELCOME_MAGIC",
     "connect_endpoint",
+    "format_hello",
+    "format_refuse",
+    "format_welcome",
     "open_live_source",
     "parse_endpoint",
+    "parse_hello",
+    "parse_welcome",
+    "read_handshake",
     "send_events",
     "send_trace",
 ]
@@ -224,19 +236,26 @@ class SocketTraceSource(LiveTraceSource):
     """
 
     def __init__(self, conn: socket.socket, timeout: Optional[float] = None,
+                 prefix: bytes = b"",
                  _unlink_path: Optional[str] = None,
-                 _lock_fd: Optional[int] = None):
+                 _lock_fd: Optional[int] = None,
+                 _lock_path: Optional[str] = None):
         # close() must be safe before base init completes (header
         # parsing can fail or time out): record resources first
         self._conn: Optional[socket.socket] = conn
         self._unlink_path = _unlink_path
         self._lock_fd = _lock_fd
+        self._lock_path = _lock_path
         self._owns_fp = False
         try:
             conn.settimeout(timeout)
             # buffering=0 gives the raw SocketIO: read(n) is one recv,
             # so partial packets flow through immediately
             raw = conn.makefile("rb", buffering=0)
+            if prefix:
+                # bytes consumed while sniffing a session handshake are
+                # re-attached in front of the socket stream
+                raw = _PrefixedRaw(prefix, raw)
             super().__init__(raw)
         except BaseException:
             self.close()
@@ -258,8 +277,41 @@ class SocketTraceSource(LiveTraceSource):
             except OSError:
                 pass
         lock_fd, self._lock_fd = self._lock_fd, None
-        if lock_fd is not None:
-            os.close(lock_fd)
+        lock_path, self._lock_path = self._lock_path, None
+        _release_endpoint_lock(lock_fd, lock_path)
+
+
+class _PrefixedRaw(io.RawIOBase):
+    """Serves buffered handshake-sniff bytes before the live stream.
+
+    Unlike :class:`repro.trace.format._PrefixedReader` (which wraps
+    borrowed handles), this adapter *owns* the wrapped reader: live
+    sources close their raw feed, and the prefix layer must not sever
+    that chain.
+    """
+
+    def __init__(self, prefix: bytes, raw):
+        self._prefix = prefix
+        self._raw = raw
+
+    def readable(self) -> bool:
+        return True
+
+    def fileno(self) -> int:
+        return self._raw.fileno()
+
+    def readinto(self, b) -> int:
+        if self._prefix:
+            k = min(len(b), len(self._prefix))
+            b[:k] = self._prefix[:k]
+            self._prefix = self._prefix[k:]
+            return k
+        return self._raw.readinto(b)
+
+    def close(self) -> None:
+        if not self.closed:
+            self._raw.close()
+        super().close()
 
 
 def _acquire_endpoint_lock(path: str) -> int:
@@ -270,24 +322,61 @@ def _acquire_endpoint_lock(path: str) -> int:
     server that died without cleanup, whose lock the kernel released —
     from a *live* one.  A connect-probe cannot make that distinction
     safely: the probe would be accepted by a healthy waiting server as
-    its one allowed producer, killing its session.  The sidecar file is
-    deliberately never unlinked (removing a lock file while another
-    process holds its inode reopens the classic double-lock race); it
-    is a zero-byte marker.
+    its one allowed producer, killing its session.
+
+    A clean shutdown unlinks the sidecar (:func:`_release_endpoint_lock`)
+    so the endpoint leaves nothing behind.  Unlinking a lock file opens
+    the classic double-lock race — locker B may flock the *old* inode
+    just as the shutting-down holder unlinks it, while locker C creates
+    and flocks a fresh inode at the same path, leaving B and C each
+    convinced they own the endpoint — so after every successful flock
+    the fd is verified to still be what the path names; a mismatch
+    (or a vanished path) means the inode was retired mid-acquire, and
+    the open/flock/verify sequence simply retries on the fresh inode.
 
     Raises ``OSError(EADDRINUSE)`` when a live server holds the lock.
     """
     import fcntl
 
-    fd = os.open(path + ".lock", os.O_CREAT | os.O_RDWR, 0o644)
-    try:
-        fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
-    except OSError:
-        os.close(fd)
-        raise OSError(
-            errno.EADDRINUSE,
-            "endpoint {} is in use by a live server".format(path))
-    return fd
+    lock_path = path + ".lock"
+    while True:
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            raise OSError(
+                errno.EADDRINUSE,
+                "endpoint {} is in use by a live server".format(path))
+        try:
+            st = os.stat(lock_path)
+        except OSError:  # unlinked between our open and the flock
+            os.close(fd)
+            continue
+        fst = os.fstat(fd)
+        if (st.st_ino, st.st_dev) != (fst.st_ino, fst.st_dev):
+            os.close(fd)  # the path was re-created under us; retry
+            continue
+        return fd
+
+
+def _release_endpoint_lock(fd: Optional[int], path: Optional[str]) -> None:
+    """Release the endpoint lock and remove its sidecar file.
+
+    The unlink happens *while the flock is still held* — any concurrent
+    :func:`_acquire_endpoint_lock` that grabbed the doomed inode detects
+    the swap via its fstat-vs-stat verify and retries — so a clean
+    shutdown leaves no ``<path>.lock`` litter without reopening the
+    double-lock race.
+    """
+    if fd is None:
+        return
+    if path is not None:
+        try:
+            os.unlink(path + ".lock")
+        except OSError:
+            pass
+    os.close(fd)
 
 
 class TraceListener:
@@ -316,6 +405,7 @@ class TraceListener:
         self.kind, addr = parse_endpoint(spec)
         self._unlink_path: Optional[str] = None
         self._lock_fd: Optional[int] = None
+        self._lock_path: Optional[str] = None
         if self.kind == "unix":
             sock = socket.socket(socket.AF_UNIX)
         else:
@@ -328,6 +418,7 @@ class TraceListener:
                 # of a crashed server (SIGKILL before cleanup releases
                 # the flock) and is safe to reclaim
                 self._lock_fd = _acquire_endpoint_lock(addr)
+                self._lock_path = addr
                 try:
                     sock.bind(addr)
                 except OSError as exc:
@@ -359,8 +450,8 @@ class TraceListener:
 
     def _release_lock(self) -> None:
         fd, self._lock_fd = self._lock_fd, None
-        if fd is not None:
-            os.close(fd)
+        path, self._lock_path = self._lock_path, None
+        _release_endpoint_lock(fd, path)
 
     @property
     def address(self) -> Union[str, Tuple[str, int]]:
@@ -397,13 +488,38 @@ class TraceListener:
             raise
         # reconnect refusal: stop listening the moment we have a feed.
         # The endpoint lock moves to the source, so the path stays
-        # claimed until the session's cleanup unlinks it.
+        # claimed until the session's cleanup unlinks it (socket file
+        # and lock sidecar both).
         self._sock = None
         self._unlink_path = None
         lock_fd, self._lock_fd = self._lock_fd, None
+        lock_path, self._lock_path = self._lock_path, None
         sock.close()
         return SocketTraceSource(conn, timeout=timeout, _unlink_path=path,
-                                 _lock_fd=lock_fd)
+                                 _lock_fd=lock_fd, _lock_path=lock_path)
+
+    def accept_connection(self,
+                          timeout: Optional[float] = None) -> socket.socket:
+        """Accept one producer connection and *keep listening*.
+
+        The multi-tenant counterpart of :meth:`accept`
+        (:mod:`repro.server` drives this in its accept loop): the
+        returned socket is raw — wrap it in a
+        :class:`SocketTraceSource` (optionally after reading a session
+        handshake with :func:`read_handshake`) — and the listener stays
+        bound, so any number of producers can be accepted concurrently.
+        The endpoint's Unix path and lock stay with the listener and are
+        released by :meth:`close`.  ``timeout`` bounds only the wait for
+        a connection (``TimeoutError`` on expiry; the listener survives
+        and can accept again), which is how a server loop polls for
+        shutdown between accepts.
+        """
+        sock = self._sock
+        if sock is None:
+            raise RuntimeError("listener already accepted or closed")
+        sock.settimeout(timeout)
+        conn, _ = sock.accept()
+        return conn
 
     def close(self) -> None:
         sock, self._sock = self._sock, None
@@ -456,6 +572,171 @@ def connect_endpoint(spec: str, connect_timeout: Optional[float] = 10.0,
             time.sleep(retry_interval)
 
 
+# ---------------------------------------------------------------------------
+# Session handshake frames (multi-tenant serving, repro.server)
+# ---------------------------------------------------------------------------
+#
+# A producer that wants a *named*, resumable session leads with one
+# ASCII hello line before its trace bytes; the server answers with a
+# welcome (carrying the resume offset to resend from) or a refuse frame.
+# Legacy producers simply start with trace bytes — the frames share the
+# trace headers' "# repro " prefix but diverge immediately after, so
+# :func:`read_handshake` can sniff without consuming anything a format
+# reader needs (sniffed bytes are re-attached via the source's
+# ``prefix``).  All three frames are one line, ≤ ``HANDSHAKE_LIMIT``
+# bytes, with space-separated ``key=value`` fields.
+
+HELLO_MAGIC = b"# repro hello v1 "
+WELCOME_MAGIC = b"# repro welcome v1 "
+REFUSE_MAGIC = b"# repro refuse v1 "
+#: Hard cap on one handshake frame; a flood of non-newline bytes after a
+#: hello magic is a malformed handshake, not an unbounded buffer.
+HANDSHAKE_LIMIT = 256
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+
+def format_hello(tenant: str, resume: int = 0,
+                 total: Optional[int] = None) -> bytes:
+    """The producer's session-opening frame.
+
+    ``tenant`` names the session (``[A-Za-z0-9._-]{1,64}``) so a
+    reconnecting producer reaches the same analysis state; ``resume`` is
+    the earliest event offset this producer is still able to resend (0
+    when it can replay from the start); ``total`` declares the trace's
+    event count when known (``None`` → ``?``), which is how the server
+    tells a completed session from one whose producer died at an event
+    boundary.
+    """
+    if not _TENANT_RE.match(tenant):
+        raise ValueError(
+            "tenant id {!r} is not [A-Za-z0-9._-]{{1,64}}".format(tenant))
+    if resume < 0:
+        raise ValueError("resume offset must be >= 0")
+    return HELLO_MAGIC + "tenant={} resume={} total={}\n".format(
+        tenant, resume, "?" if total is None else int(total)).encode("ascii")
+
+
+def _parse_fields(body: bytes, what: str) -> dict:
+    try:
+        text = body.decode("ascii")
+    except UnicodeDecodeError:
+        raise TraceFormatError("{} frame is not ASCII".format(what))
+    fields = {}
+    for token in text.split():
+        key, sep, value = token.partition("=")
+        if not sep or not key:
+            raise TraceFormatError(
+                "malformed {} field {!r}".format(what, token))
+        fields[key] = value
+    return fields
+
+
+def parse_hello(line: bytes) -> dict:
+    """Parse a hello frame (sans trailing newline) into
+    ``{"tenant": str, "resume": int, "total": Optional[int]}``; raises
+    :class:`~repro.trace.stream.TraceFormatError` on malformed input."""
+    if not line.startswith(HELLO_MAGIC):
+        raise TraceFormatError("not a hello frame")
+    fields = _parse_fields(line[len(HELLO_MAGIC):], "hello")
+    tenant = fields.get("tenant", "")
+    if not _TENANT_RE.match(tenant):
+        raise TraceFormatError("hello frame has a bad tenant id")
+    try:
+        resume = int(fields.get("resume", "0"))
+        raw_total = fields.get("total", "?")
+        total = None if raw_total == "?" else int(raw_total)
+    except ValueError:
+        raise TraceFormatError("hello frame has non-numeric offsets")
+    if resume < 0 or (total is not None and total < 0):
+        raise TraceFormatError("hello frame has negative offsets")
+    return {"tenant": tenant, "resume": resume, "total": total}
+
+
+def format_welcome(resume: int) -> bytes:
+    """The server's acceptance frame: resend events from ``resume``."""
+    return WELCOME_MAGIC + "resume={}\n".format(int(resume)).encode("ascii")
+
+
+def format_refuse(reason: str) -> bytes:
+    """The server's rejection frame; ``reason`` is a short token
+    (``busy``, ``gap``, ``mismatch``, ``shutdown``, ...)."""
+    return REFUSE_MAGIC + "reason={}\n".format(reason).encode("ascii")
+
+
+def parse_welcome(line: bytes) -> int:
+    """Parse the server's reply; returns the resume offset or raises
+    :class:`~repro.trace.stream.TraceFormatError` (a refuse frame's
+    reason is carried in the message)."""
+    if line.startswith(REFUSE_MAGIC):
+        fields = _parse_fields(line[len(REFUSE_MAGIC):], "refuse")
+        raise TraceFormatError("server refused session: {}".format(
+            fields.get("reason", "unspecified")))
+    if not line.startswith(WELCOME_MAGIC):
+        raise TraceFormatError("expected a welcome frame, got {!r}".format(
+            line[:40]))
+    fields = _parse_fields(line[len(WELCOME_MAGIC):], "welcome")
+    try:
+        resume = int(fields.get("resume", ""))
+    except ValueError:
+        raise TraceFormatError("welcome frame has a bad resume offset")
+    if resume < 0:
+        raise TraceFormatError("welcome frame has a negative resume offset")
+    return resume
+
+
+def read_handshake(conn: socket.socket,
+                   timeout: Optional[float] = None
+                   ) -> Tuple[Optional[dict], bytes]:
+    """Server side: sniff whether a fresh connection leads with a hello.
+
+    Reads just enough bytes to decide.  Returns ``(hello, prefix)``:
+    ``hello`` is the parsed frame dict (or ``None`` for a legacy
+    producer that starts straight with trace bytes) and ``prefix`` is
+    every sniffed byte *not* consumed by the frame — hand it to
+    :class:`SocketTraceSource(prefix=...) <SocketTraceSource>` so the
+    format readers see the stream from its true start.  A connection
+    closed mid-frame or a frame past :data:`HANDSHAKE_LIMIT` raises
+    :class:`~repro.trace.stream.TraceFormatError`.
+    """
+    conn.settimeout(timeout)
+    buf = b""
+    while len(buf) < len(HELLO_MAGIC) and buf == HELLO_MAGIC[:len(buf)]:
+        chunk = conn.recv(len(HELLO_MAGIC) - len(buf))
+        if not chunk:
+            return None, buf
+        buf += chunk
+    if not buf.startswith(HELLO_MAGIC):
+        return None, buf
+    while b"\n" not in buf:
+        if len(buf) > HANDSHAKE_LIMIT:
+            raise TraceFormatError("hello frame exceeds {} bytes".format(
+                HANDSHAKE_LIMIT))
+        chunk = conn.recv(256)
+        if not chunk:
+            raise TraceFormatError("connection closed mid-hello")
+        buf += chunk
+    line, rest = buf.split(b"\n", 1)
+    return parse_hello(line), rest
+
+
+def _read_reply_line(sock: socket.socket,
+                     timeout: Optional[float]) -> bytes:
+    """Producer side: read the server's one-line handshake reply."""
+    sock.settimeout(timeout)
+    buf = b""
+    while b"\n" not in buf:
+        if len(buf) > HANDSHAKE_LIMIT:
+            raise TraceFormatError("handshake reply exceeds {} bytes".format(
+                HANDSHAKE_LIMIT))
+        chunk = sock.recv(256)
+        if not chunk:
+            raise TraceFormatError(
+                "connection closed before the handshake reply")
+        buf += chunk
+    return buf.split(b"\n", 1)[0]
+
+
 class _SendallSink:
     """A write-only file over a socket whose every write is a complete
     ``sendall`` (a raw ``send`` may transmit a short count)."""
@@ -473,8 +754,11 @@ class _SendallSink:
 def send_events(dims: Union[Trace, TraceInfo], events, spec: str,
                 binary: bool = True,
                 connect_timeout: Optional[float] = 10.0,
-                flush_every: int = 512) -> int:
-    """Stream ``events`` to a waiting live endpoint; returns the count.
+                flush_every: int = 512,
+                tenant: Optional[str] = None,
+                total: Optional[int] = None) -> int:
+    """Stream ``events`` to a waiting live endpoint; returns the count
+    of events put on the wire by *this* connection.
 
     ``dims`` supplies the header every live analysis needs up front (a
     :class:`Trace` or :class:`TraceInfo`).  ``binary`` picks the wire
@@ -487,6 +771,16 @@ def send_events(dims: Union[Trace, TraceInfo], events, spec: str,
     *live*: with default file buffering a slow producer's events would
     sit unsent for tens of kilobytes, and the consumer's races would
     surface arbitrarily late.  Raise it for bulk replay throughput.
+
+    ``tenant`` opens a *named session* against a multi-tenant server
+    (``repro serve --multi``): a hello frame is sent first, the server's
+    welcome tells this producer how many events the server already
+    holds, and that many leading events are skipped — which is exactly
+    the reconnect-with-resume path.  ``total`` declares the run's full
+    event count (auto-derived when ``events`` is sized) so the server
+    can tell a finished trace from a producer that died at an event
+    boundary.  Without ``tenant`` the producer speaks the legacy
+    handshake-free protocol.
     """
     from repro.trace.binfmt import BinaryTraceWriter
     from repro.trace.format import format_event, header_line
@@ -494,6 +788,18 @@ def send_events(dims: Union[Trace, TraceInfo], events, spec: str,
     flush_every = max(flush_every, 1)
     sock = connect_endpoint(spec, connect_timeout=connect_timeout)
     try:
+        if tenant is not None:
+            if total is None:
+                try:
+                    total = len(events)
+                except TypeError:
+                    pass
+            sock.settimeout(connect_timeout)
+            sock.sendall(format_hello(tenant, total=total))
+            skip = parse_welcome(_read_reply_line(sock, connect_timeout))
+            sock.settimeout(None)
+            if skip:
+                events = islice(iter(events), skip, None)
         # sendall, not a raw file write: a single send() may transmit a
         # short count (signal mid-send), and a buffered file would hold
         # bytes back from a live consumer — every flushed batch must hit
@@ -528,7 +834,8 @@ def send_events(dims: Union[Trace, TraceInfo], events, spec: str,
 
 
 def send_trace(trace: Trace, spec: str, binary: bool = True,
-               connect_timeout: Optional[float] = 10.0) -> int:
+               connect_timeout: Optional[float] = 10.0,
+               tenant: Optional[str] = None) -> int:
     """Stream a materialized trace to a waiting live endpoint.
 
     The producer half of the online workflow (``repro generate
@@ -542,4 +849,5 @@ def send_trace(trace: Trace, spec: str, binary: bool = True,
             daemon=True).start()
     """
     return send_events(trace, trace.events, spec, binary=binary,
-                       connect_timeout=connect_timeout)
+                       connect_timeout=connect_timeout,
+                       tenant=tenant, total=len(trace.events))

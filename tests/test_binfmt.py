@@ -291,6 +291,64 @@ class TestErrors:
         assert exc.value.lineno > 1
 
 
+class TestDeclaredCount:
+    """The header's event count is authoritative for stopping.
+
+    A reader that insists on seeing EOF after the last declared event
+    blocks live sources whose producer keeps the connection open — or
+    whose socket is also held open by an unrelated forked process — so
+    reaching the declared count must end iteration without another
+    read.
+    """
+
+    def test_trailing_bytes_after_declared_count_ignored(self):
+        trace = figure1()
+        stream = stream_trace(
+            io.BytesIO(dumps_trace_binary(trace) + b"\x01"))
+        assert len(list(stream)) == len(trace.events)
+
+    def test_reader_stops_without_eof_on_live_pipe(self):
+        import os
+        import threading
+
+        trace = figure1()
+        r, w = os.pipe()
+        os.write(w, dumps_trace_binary(trace))
+        got = []
+
+        def run():
+            # unbuffered: short reads, like the live socket/FIFO sources
+            # (a BufferedReader would block for a full chunk regardless)
+            with open(r, "rb", buffering=0) as fp:
+                got.extend(stream_trace(fp))
+
+        reader = threading.Thread(target=run, daemon=True)
+        reader.start()
+        reader.join(10)  # the write end is still open: EOF never comes
+        try:
+            assert not reader.is_alive(), \
+                "reader blocked waiting for EOF past the declared count"
+            assert len(got) == len(trace.events)
+        finally:
+            os.close(w)
+
+    def test_zero_declared_count_reads_to_eof(self):
+        # events=0 means unknown (a streaming writer's hint); those
+        # headers keep reading until the input ends
+        from repro.trace import TraceInfo
+
+        trace = figure1()
+        hint = TraceInfo(trace.num_threads, trace.num_locks,
+                         trace.num_vars, trace.num_volatiles,
+                         trace.num_classes, 0)
+        buf = io.BytesIO()
+        with BinaryTraceWriter(buf, hint) as writer:
+            for event in trace.events:
+                writer.write(event)
+        assert len(list(stream_trace(
+            io.BytesIO(buf.getvalue())))) == len(trace.events)
+
+
 class TestEngineAndHarness:
     def test_run_stream_on_binary(self, tmp_path):
         from repro.core.engine import run_stream

@@ -2,6 +2,7 @@
 
 import json
 import os
+import re
 import threading
 
 import pytest
@@ -521,13 +522,26 @@ class TestServe:
         # regression: races discovered by the partial chunk of the
         # installment that failed were lost in jsonl mode (the feed
         # raised before returning them; the summary only has counts)
-        from repro.trace import dumps_trace_binary
+        import io
+
+        from repro.trace.binfmt import BinaryTraceWriter
         from repro.trace.live import connect_endpoint
+        from repro.trace.trace import TraceInfo
 
         addr = str(tmp_path / "lost.sock")
-        # all of figure1 (including its race) followed by a truncated
-        # event, delivered in one installment
-        blob = dumps_trace_binary(figure1()) + b"\x01"
+        # all of figure1 (including its race), then a truncated final
+        # event, in one installment — the header declares one event
+        # more than is sent, so the reader (which stops at the declared
+        # count) genuinely hits the truncation after every real event
+        trace = figure1()
+        lying = TraceInfo(trace.num_threads, trace.num_locks,
+                          trace.num_vars, trace.num_volatiles,
+                          trace.num_classes, len(trace.events) + 1)
+        buf = io.BytesIO()
+        with BinaryTraceWriter(buf, lying) as writer:
+            for event in trace.events:
+                writer.write(event)
+        blob = buf.getvalue() + b"\x01"
 
         def run():
             sock = connect_endpoint(addr, connect_timeout=10)
@@ -736,3 +750,100 @@ class TestHelpEpilog:
         with pytest.raises(SystemExit):
             main(["analyze", "--help"])
         assert "--workers" in capsys.readouterr().out
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        # installed: "repro 1.0.0"; checkout: "repro 1.0.0+uninstalled"
+        assert re.match(r"^repro \d+\.\d+\.\d+(\+uninstalled)?\n$", out)
+
+
+class TestStatusCommand:
+    def test_unreachable_server_exits_2(self, tmp_path, capsys):
+        code = main(["status", str(tmp_path / "nobody.sock"),
+                     "--timeout", "0.5"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "cannot query server" in err
+
+    def test_status_against_live_server(self, tmp_path, capsys):
+        from tests.test_server import _Server
+        trace = figure1()
+        with _Server(tmp_path) as srv:
+            send_trace(trace, srv.addr, tenant="cli")
+            srv.wait_block("cli")
+
+            code = main(["status", srv.addr])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert out.startswith("server {}".format(srv.addr))
+            assert "tenant" in out and "state" in out
+            assert re.search(r"cli\s+complete\s+{0}\s+{0}".format(
+                len(trace)), out)
+
+            code = main(["status", srv.addr, "--json"])
+            doc = json.loads(capsys.readouterr().out)
+            assert code == 0
+            assert doc["class"] == "results"
+            assert doc["server"]["endpoint"] == srv.addr
+
+            code = main(["status", srv.addr, "--command", "metadata"])
+            doc = json.loads(capsys.readouterr().out)
+            assert code == 0
+            assert doc["class"] == "metadata"
+            assert doc["producer-name"] == "repro serve"
+
+            code = main(["status", srv.addr, "--command", "shutdown"])
+            assert code == 0
+            srv._thread.join(timeout=20)
+            assert not srv._thread.is_alive()
+        assert srv.code == 1  # figure1 has a race
+
+
+class TestServeDelegation:
+    """serve is a thin shell: flags must map onto ServerConfig."""
+
+    def test_serve_flags_reach_server_config(self, monkeypatch, tmp_path):
+        import repro.server
+        seen = {}
+
+        def fake_serve_main(config):
+            seen["config"] = config
+            return 0
+
+        monkeypatch.setattr(repro.server, "serve_main", fake_serve_main)
+        addr = str(tmp_path / "cfg.sock")
+        code = main(["serve", addr, "--multi", "-a", "st-wdc", "-a",
+                     "fto-hb", "--workers", "3", "--window", "128",
+                     "--timeout", "7", "--emit", "jsonl",
+                     "--max-races", "5", "--max-pending-races", "1000",
+                     "--resume-grace", "12", "--idle-ttl", "34"])
+        assert code == 0
+        config = seen["config"]
+        assert config.endpoint == addr
+        assert config.multi is True
+        assert config.analyses == ["st-wdc", "fto-hb"]
+        assert config.workers == 3
+        assert config.window == 128
+        assert config.timeout == 7.0
+        assert config.emit == "jsonl"
+        assert config.max_races == 5
+        assert config.max_pending_races == 1000
+        assert config.resume_grace == 12.0
+        assert config.idle_ttl == 34.0
+
+    def test_single_mode_is_the_default(self, monkeypatch, tmp_path):
+        import repro.server
+        seen = {}
+
+        def fake_serve_main(config):
+            seen["config"] = config
+            return 0
+
+        monkeypatch.setattr(repro.server, "serve_main", fake_serve_main)
+        main(["serve", str(tmp_path / "one.sock")])
+        assert seen["config"].multi is False

@@ -678,3 +678,66 @@ class TestSession:
         result = session.finish()
         solo = repro.detect_races(trace, "st-wdc")
         assert _race_key(result.report("st-wdc")) == _race_key(solo)
+
+
+class TestServingState:
+    """Serving-oriented session state: the resume ack offset and the
+    bounded-state cap the multi-tenant server relies on."""
+
+    def test_events_acked_mirrors_processed(self, rng):
+        trace = random_trace(rng, n_events=90)
+        session = MultiRunner([create("st-wdc", trace)]).session()
+        assert session.events_acked == 0
+        session.feed(iter(trace.events), max_events=40)
+        assert session.events_acked == session.events_processed == 40
+        session.feed(iter(trace.events[40:]))
+        assert session.events_acked == len(trace)
+
+    def test_acked_survives_source_error(self, rng):
+        # the resume contract: every event decoded before the feed died
+        # is acked, so a producer resending from the ack offset neither
+        # skips nor double-applies anything
+        trace = random_trace(rng, n_events=60)
+
+        def dies_after(n):
+            for event in trace.events[:n]:
+                yield event
+            raise OSError("producer died")
+
+        session = MultiRunner([create("st-wdc", trace)]).session()
+        with pytest.raises(OSError):
+            session.feed(dies_after(25))
+        assert session.events_acked == session.events_processed == 25
+        session.feed(iter(trace.events[session.events_acked:]))
+        result = session.finish()
+        solo = repro.detect_races(trace, "st-wdc")
+        assert _race_key(result.report("st-wdc")) == _race_key(solo)
+
+    def test_snapshot_carries_the_ack_offset(self, rng):
+        trace = random_trace(rng, n_events=70)
+        session = MultiRunner([create("st-wdc", trace)]).session()
+        session.feed(iter(trace.events), max_events=30)
+        snap = session.snapshot()
+        assert snap.events_acked == 30
+        assert snap.events_acked == snap.events_processed
+
+    def test_max_pending_races_bounds_records_not_counts(self, rng):
+        trace = random_trace(rng, n_events=400)
+        unbounded = MultiRunner([create("st-wdc", trace)]).run(trace)
+        reference = unbounded.report("st-wdc")
+        if reference.dynamic_count <= 5:
+            pytest.skip("workload found too few races to exercise the cap")
+
+        runner = MultiRunner([create("st-wdc", trace)],
+                             max_pending_races=5)
+        session = runner.session()
+        streamed = list(session.drain(trace, window=32))
+        result = session.finish()
+        report = result.report("st-wdc")
+        # every race was still streamed out exactly once...
+        assert len(streamed) == reference.dynamic_count
+        # ...and the aggregate counts stay exact...
+        assert report.dynamic_count == reference.dynamic_count
+        assert report.static_count == reference.static_count
+        # ...but the retained records are capped
+        assert len(report.races) <= 5

@@ -307,7 +307,11 @@ class TestServeInterrupt:
             payload = dumps_trace_binary(figure1())
             conn = connect_endpoint(sock, connect_timeout=10)
             try:
-                conn.sendall(payload)  # header + events, no EOF yet
+                # header + all but the tail of the last event: the
+                # reader stops on its own once every *declared* event
+                # arrives, so hold the final one back to keep the serve
+                # mid-drain when the interrupt lands
+                conn.sendall(payload[:-2])
                 time.sleep(1.0)  # let the drain loop consume them
                 proc.send_signal(signal.SIGINT)
                 out, err = proc.communicate(timeout=30)

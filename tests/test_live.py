@@ -324,6 +324,27 @@ class TestSocketSource:
         assert _open_fd_count() == before
         assert not os.path.exists(addr)  # bound path unlinked
 
+    def test_clean_close_leaves_no_lock_sidecar(self, tmp_path):
+        # regression: a clean shutdown used to leave <path>.lock behind,
+        # accumulating stale sidecars across serve runs
+        addr = str(tmp_path / "tidy.sock")
+        TraceListener(addr).close()
+        assert not os.path.exists(addr)
+        assert not os.path.exists(addr + ".lock")
+
+    def test_served_session_close_removes_lock_sidecar(self, tmp_path):
+        # the lock travels listener -> source on accept; the *source's*
+        # close is then responsible for removing the sidecar
+        addr = str(tmp_path / "served.sock")
+        listener = TraceListener(addr)
+        client = _spawn_raw_client(addr, [dumps_trace_binary(figure1())])
+        with listener.accept(timeout=10) as source:
+            assert os.path.exists(addr + ".lock")  # held while serving
+            list(source)
+        client.join()
+        assert not os.path.exists(addr + ".lock")
+        assert not os.path.exists(addr)
+
 
 class TestSocketAdversarial:
     def test_truncated_varint_at_read_boundary(self, tmp_path):

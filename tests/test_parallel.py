@@ -264,6 +264,38 @@ class TestSessionLifecycle:
             session.finish()
 
 
+def test_forked_workers_never_touch_resource_tracker(workload, monkeypatch):
+    """Forked workers must not call into multiprocessing's resource
+    tracker: its lock is a process-private heap RLock, and a fork taken
+    while any other parent thread holds it (another session's shm
+    register/unregister) hands the child a permanently locked copy —
+    the worker then deadlocks attaching to its chunk ring.  Guard the
+    tracker entry points: a child that reaches them hard-exits, which
+    surfaces as a dead shard and fails the run.
+    """
+    import multiprocessing
+    from multiprocessing import resource_tracker
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        pytest.skip("no fork start method on this platform")
+    parent = os.getpid()
+
+    def _guard(wrapped):
+        def checked(*args, **kwargs):
+            if os.getpid() != parent:  # pragma: no cover - bug path
+                os._exit(86)
+            return wrapped(*args, **kwargs)
+        return checked
+
+    monkeypatch.setattr(resource_tracker, "register",
+                        _guard(resource_tracker.register))
+    monkeypatch.setattr(resource_tracker, "ensure_running",
+                        _guard(resource_tracker.ensure_running))
+    result = ParallelRunner(["st-wdc", "fto-hb"], workload,
+                            workers=2).run(workload)
+    assert result.ok
+
+
 def test_no_process_leak(workload):
     """Every worker is reaped by finish() — no zombie accumulation."""
     import multiprocessing
