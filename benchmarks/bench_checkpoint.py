@@ -1,0 +1,113 @@
+"""Checkpointed incremental re-analysis: the ``analyze --cache`` path.
+
+Three timed runs over the same ~1M-event recorded trace, end to end
+through :func:`repro.checkpoint.analyze_cached` (segment hashing, cache
+lookup, engine replay, summary rendering — everything the CLI pays):
+
+* **cold**: empty cache; the full trace replays and a checkpoint lands
+  at the last segment boundary.
+* **warm**: nothing changed; the run must come back from the result
+  cache with **zero** events replayed — this is where the ``>= 10x``
+  gate lives (the remaining cost is hashing the file and reading one
+  JSON document).
+* **suffix**: the trace grows by a few percent; the run restores the
+  checkpoint and replays only the appended suffix (plus at most one
+  partial segment), so its cost must be proportional to the suffix,
+  not the trace — gated against the cold time scaled by the replayed
+  fraction.
+
+Workloads scale with ``REPRO_BENCH_SCALE`` (default 0.5; see conftest).
+"""
+
+import io
+import os
+import re
+import tempfile
+import time
+
+from benchmarks.conftest import bench_scale, gate, write_result
+from repro.checkpoint import analyze_cached
+from repro.trace.format import dump_trace
+from repro.trace.trace import Trace
+from repro.workloads import WorkloadSpec, generate_trace
+
+ANALYSES = ["st-wdc"]
+
+
+def _spec():
+    return WorkloadSpec(name="checkpoint-bench", threads=8,
+                        events=max(int(1_000_000 * bench_scale()), 20_000),
+                        locks=16, shared_vars=512, local_vars=128,
+                        p_cs=0.002, read_fraction=0.75, burst=8.0,
+                        predictive_races=2, hb_races=2, seed=13)
+
+
+def _run(cache, path):
+    out, err = io.StringIO(), io.StringIO()
+    t0 = time.perf_counter()
+    code = analyze_cached(cache, path, ANALYSES, out=out, err=err)
+    dt = time.perf_counter() - t0
+    accounting = err.getvalue().strip()
+    match = re.search(r"cache: (?:warm hit - )?replayed (\d+) of (\d+) "
+                      r"events", accounting)
+    assert match, accounting
+    return dt, code, out.getvalue(), accounting, int(match.group(1))
+
+
+def test_checkpoint_cache_speedups(results_dir):
+    trace = generate_trace(_spec())
+    base = tempfile.mkdtemp()
+    path = os.path.join(base, "checkpoint-bench.bintrace")
+    with open(path, "wb") as fp:
+        dump_trace(trace, fp, binary=True)
+    cache = os.path.join(base, "cache")
+    total = len(trace)
+
+    cold_s, cold_code, cold_out, cold_acct, cold_replayed = _run(cache, path)
+    assert "(cold)" in cold_acct and cold_replayed == total
+
+    warm_s, warm_code, warm_out, warm_acct, warm_replayed = _run(cache, path)
+    assert warm_replayed == 0, warm_acct
+    assert warm_out == cold_out and warm_code == cold_code
+
+    # grow the trace by ~6% of pure data accesses (always well-formed to
+    # append) and rewrite the file; only the suffix should replay
+    suffix = [e for e in trace.events if e.kind <= 1]
+    suffix = suffix[:max(total // 16, 4096)]
+    extended = Trace(list(trace.events) + suffix,
+                     num_threads=trace.num_threads,
+                     num_locks=trace.num_locks, num_vars=trace.num_vars,
+                     num_volatiles=trace.num_volatiles,
+                     num_classes=trace.num_classes, validate=False)
+    with open(path, "wb") as fp:
+        dump_trace(extended, fp, binary=True)
+
+    suffix_s, _, _, suffix_acct, suffix_replayed = _run(cache, path)
+    assert "resumed from checkpoint" in suffix_acct, suffix_acct
+    fraction = suffix_replayed / len(extended)
+    assert fraction < 0.2, suffix_acct  # suffix + at most one segment
+
+    warm_ratio = cold_s / warm_s
+    suffix_budget = cold_s * max(4 * fraction, 0.35)
+    text = ("checkpointed incremental re-analysis (analyze --cache)\n"
+            "workload: {} events, {} analyses, binary format\n"
+            "cold: {:.3f}s   warm: {:.3f}s ({:.1f}x, 0 events replayed)\n"
+            "suffix: {:.3f}s ({} of {} events replayed, {:.1%} — budget "
+            "{:.3f}s)"
+            .format(total, len(ANALYSES), cold_s, warm_s, warm_ratio,
+                    suffix_s, suffix_replayed, len(extended), fraction,
+                    suffix_budget))
+    print(text)
+    write_result(results_dir, "engine_checkpoint.txt", text, data={
+        "workload": {"events": total, "extended_events": len(extended),
+                     "analyses": ANALYSES},
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "suffix_s": round(suffix_s, 4),
+        "suffix_replayed_events": suffix_replayed,
+        "suffix_fraction": round(fraction, 4),
+        "warm_ratio": round(warm_ratio, 2),
+        "events_per_s_cold": round(total / cold_s, 1),
+    })
+    gate(warm_ratio >= 10.0, text)
+    gate(suffix_s <= suffix_budget, text)

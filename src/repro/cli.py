@@ -98,6 +98,15 @@ def _cmd_analyze(args) -> int:
     sample = 4096 if args.memory else 0
     workers = max(getattr(args, "workers", 1), 1)
     exit_code = 0
+    if getattr(args, "cache", None):
+        if args.vindicate or args.memory or workers > 1:
+            print("error: --cache is a checkpointed streaming replay; it "
+                  "cannot be combined with --vindicate, --memory, or "
+                  "--workers", file=sys.stderr)
+            return 2
+        from repro.checkpoint import analyze_cached
+        return analyze_cached(args.cache, args.trace, analyses,
+                              max_races=args.max_races)
     if args.stream:
         if args.vindicate:
             print("error: --vindicate needs the full trace in memory; "
@@ -262,12 +271,22 @@ def _cmd_serve(args) -> int:
     return serve_main(config)
 
 
+def _cmd_watch(args) -> int:
+    from repro.checkpoint import watch_directory
+    cache = args.cache or os.path.join(args.directory, ".repro-cache")
+    return watch_directory(args.directory, cache,
+                           args.analysis or ["st-wdc"],
+                           max_races=args.max_races,
+                           interval=args.interval, once=args.once,
+                           max_scans=args.max_scans)
+
+
 def _cmd_status(args) -> int:
     import json
     from repro.server.mi import query
     try:
         doc = query(args.socket, {"command": args.mi_command},
-                    timeout=args.timeout)
+                    timeout=args.timeout, control=args.control)
     except (OSError, ValueError) as exc:
         print("error: cannot query server at {}: {}".format(
             args.socket, exc), file=sys.stderr)
@@ -424,6 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "trace lazily and feed all analyses from one "
                               "iteration (bounded memory; file must carry "
                               "the dump_trace header)")
+    analyze.add_argument("--cache", metavar="DIR", default=None,
+                         help="checkpointed result cache: an unchanged "
+                              "trace returns its byte-identical summary "
+                              "with zero events replayed, an extended one "
+                              "replays only the suffix from the nearest "
+                              "checkpoint (implies streaming; see "
+                              "repro.checkpoint)")
     add_workers(analyze, "requested analyses")
     analyze.set_defaults(func=_cmd_analyze)
 
@@ -545,7 +571,36 @@ def build_parser() -> argparse.ArgumentParser:
                              "non-status replies always print as JSON)")
     status.add_argument("--timeout", type=float, default=5.0,
                         help="seconds to wait for the server (default 5)")
+    status.add_argument("--control", metavar="ENDPOINT", default=None,
+                        help="explicit control endpoint, overriding the "
+                             "derivation (needed when the server bound an "
+                             "ephemeral control port — it prints the real "
+                             "one at startup)")
     status.set_defaults(func=_cmd_status)
+
+    watch = trace_parser(
+        "watch",
+        help="re-analyze traces in a directory as they change "
+             "(checkpointed: only stale suffixes are replayed)")
+    watch.add_argument("directory",
+                       help="directory of trace files to poll")
+    watch.add_argument("-a", "--analysis", action="append",
+                       choices=ANALYSIS_NAMES,
+                       help="analysis name (repeatable; default st-wdc)")
+    watch.add_argument("--cache", metavar="DIR", default=None,
+                       help="cache directory (default: "
+                            "<directory>/.repro-cache)")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between directory scans (default 2)")
+    watch.add_argument("--once", action="store_true",
+                       help="scan and analyze exactly once, then exit "
+                            "with the combined 0/1/2 status")
+    watch.add_argument("--max-scans", type=int, default=None, metavar="N",
+                       help="exit after N scans (default: run until "
+                            "interrupted)")
+    watch.add_argument("--max-races", type=int, default=10,
+                       help="dynamic races to list per analysis")
+    watch.set_defaults(func=_cmd_watch)
 
     convert = trace_parser(
         "convert",

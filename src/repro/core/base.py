@@ -235,6 +235,36 @@ class Analysis:
         counts = self.case_counts
         counts[case] = counts.get(case, 0) + 1
 
+    # -- state serialization (checkpoint contract) ----------------------
+    def __getstate__(self):
+        """The checkpoint serialization contract (:mod:`repro.checkpoint`).
+
+        Everything an analysis owns — vector clocks, packed-epoch
+        columns, per-variable metadata, CS lists, rule-(b) queues — is
+        ordinary picklable state whose *object identity sharing* (CS
+        entries shared between a thread's stack and the per-variable
+        lists, shared HB bank clocks) pickle preserves within one dump.
+        Two members need explicit handling:
+
+        * ``trace`` is demoted to its :class:`~repro.trace.trace.TraceInfo`
+          dimensions — a checkpoint must not embed the materialized
+          event list, and a restored analysis is driven by the engine
+          (never by solo :meth:`run`, which needs events);
+        * ``_dispatch`` (a cached tuple of bound methods) is dropped and
+          recompiled lazily after restore.
+        """
+        state = self.__dict__.copy()
+        state["_dispatch"] = None
+        trace = state.get("trace")
+        if isinstance(trace, Trace):
+            from repro.trace.trace import TraceInfo
+            state["trace"] = TraceInfo.of(trace)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._dispatch = None
+
     # -- handlers (overridden by concrete analyses) ---------------------
     def read(self, t: int, x: int, i: int, site: int) -> None:
         raise NotImplementedError

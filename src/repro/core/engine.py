@@ -186,7 +186,10 @@ class SessionSnapshot:
     events arrive; forking them into a resumable checkpoint would deep-copy
     every member's clock references, which is exactly the cost the sharing
     avoids — see DESIGN.md §5.2).  Use :meth:`EngineSession.finish` to seal
-    the pass and obtain real :class:`~repro.core.base.RaceReport` objects.
+    the pass and obtain real :class:`~repro.core.base.RaceReport` objects,
+    or :meth:`EngineSession.save_checkpoint` (:mod:`repro.checkpoint`)
+    when the full resumable state — clocks, metadata, banks and all — is
+    what you need.
 
     ``dynamic_counts``/``static_counts`` are keyed by analysis name (first
     instance wins when the same analysis is registered twice, mirroring
@@ -298,6 +301,12 @@ class EngineSession:
         self._races_seen = [len(e.analysis.races) for e in self.entries]
         self._max_pending = runner.max_pending_races
         self._finished = False
+
+    @property
+    def runner(self) -> "MultiRunner":
+        """The owning :class:`MultiRunner` (checkpoint and serving code
+        need its configuration)."""
+        return self._runner
 
     @property
     def events_processed(self) -> int:
@@ -628,6 +637,39 @@ class EngineSession:
                 seen[idx] -= trimmed
                 dropped += trimmed
         return dropped
+
+    # -- checkpointing -----------------------------------------------------
+    def _filter_state(self):
+        """The shared same-epoch filter's cross-chunk state as three
+        plain dicts (``toks``, ``last_r``, ``last_w``) — numpy-free, so
+        a checkpoint written under one filter implementation restores
+        into the other (the vectorized filter keeps the identical token
+        scheme)."""
+        if self._vec_filter is not None:
+            return self._vec_filter.export_state()
+        return dict(self._toks), dict(self._last_r), dict(self._last_w)
+
+    def _seed_filter(self, toks, last_r, last_w) -> None:
+        """Load filter state captured by :meth:`_filter_state` into
+        whichever filter implementation this session runs."""
+        if self._vec_filter is not None:
+            self._vec_filter.seed_state(toks, last_r, last_w)
+        else:
+            self._toks.update(toks)
+            self._last_r.update(last_r)
+            self._last_w.update(last_w)
+
+    def save_checkpoint(self, fp) -> None:
+        """Serialize the session's full resumable state to the binary
+        file object ``fp`` — every analysis' clocks/metadata, the shared
+        HB banks (refcount-correct), the same-epoch filter tokens and
+        the event offset — so :meth:`MultiRunner.restore_checkpoint` in
+        another process can replay the remaining suffix and produce
+        reports bit-identical to one uninterrupted pass.  Thin wrapper
+        over :func:`repro.checkpoint.save_session`."""
+        from repro.checkpoint import save_session
+
+        save_session(self, fp)
 
     # -- observing ---------------------------------------------------------
     def snapshot(self) -> SessionSnapshot:
@@ -1044,6 +1086,18 @@ class MultiRunner:
         self._groups_formed = True
         self._session_open = True
         return EngineSession(self)
+
+    @classmethod
+    def restore_checkpoint(cls, fp) -> EngineSession:
+        """Rebuild a runner from a checkpoint written by
+        :meth:`EngineSession.save_checkpoint` and return its open
+        session, positioned to :meth:`~EngineSession.feed` the event
+        suffix from the checkpoint's ``events_processed`` offset
+        onwards.  Thin wrapper over
+        :func:`repro.checkpoint.restore_session`."""
+        from repro.checkpoint import restore_session
+
+        return restore_session(fp)
 
     def run(self, events: Union[Trace, Iterable[Event]]) -> MultiResult:
         """Feed one iteration of ``events`` to every analysis.

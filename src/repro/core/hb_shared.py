@@ -158,6 +158,23 @@ class SharedHBClocks:
         if k is not None:
             self.hh[t].join(k)
 
+    # -- state serialization (checkpoint contract) ------------------------
+    def __getstate__(self):
+        """Checkpoint serialization (:mod:`repro.checkpoint`): the bank
+        pickles with its clocks and refcount intact — member analyses in
+        the same pickle keep aliasing the bank's ``hh`` / ``vol_w`` /
+        ``vol_r`` / ``cls_clocks`` / ``lock_hb`` objects, so one dump of
+        the engine session reconstructs the sharing refcount-correctly.
+        Only the cached bound-method dispatch tuple is dropped (bound
+        methods don't pickle usefully); it is recompiled on first use."""
+        state = self.__dict__.copy()
+        state["_dispatch"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._dispatch = None
+
     # -- dispatch ---------------------------------------------------------
     def dispatch_table(self):
         """Per-event-kind table of bound handlers (same contract as

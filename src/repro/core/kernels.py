@@ -61,6 +61,12 @@ try:  # optional dependency: the [kernels] extra
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
     np = None  # type: ignore[assignment]
 
+#: Version of the kernels' replay semantics, part of the on-disk result
+#: cache key (:mod:`repro.checkpoint.cache`): bump whenever a kernel
+#: change could alter which events reach the handlers or how per-variable
+#: metadata is derived, so stale cached summaries are never replayed.
+KERNELS_VERSION = 1
+
 
 def kernels_available() -> bool:
     """True when the batch kernels can run: numpy is importable and the
@@ -428,8 +434,15 @@ class StKernel:
         self.a = analysis
         self.bump_kinds = tuple(analysis.BUMP_KINDS)
         width = analysis.width
+        # Each thread's log is seeded with its *current* lock stack at
+        # time 0 (the empty tuple on a fresh analysis).  A kernel may be
+        # attached to a mid-run analysis — a checkpoint restore
+        # (repro.checkpoint) rebuilds kernels against restored state —
+        # and every epoch a *future* fast access can commit carries a
+        # time >= the thread's current time, so one entry covering
+        # [0, now] with the present stack keeps ``_repair`` exact.
         self._log_times = [[0] for _ in range(width)]
-        self._log_snaps = [[()] for _ in range(width)]
+        self._log_snaps = [[tuple(s)] for s in analysis._stack]
         self._dirty = set()
 
     def process_chunk(self, plan: ChunkPlan) -> None:
@@ -613,6 +626,29 @@ class VecSameEpochFilter:
                 new = np.full(size, -1, dtype=np.int64)
                 new[:have] = old
                 setattr(self, attr, new)
+
+    def export_state(self):
+        """The filter's cross-chunk state as three plain dicts — the
+        exact representation the engine's scalar filter keeps — so a
+        checkpoint (:mod:`repro.checkpoint`) is numpy-free and restores
+        into either filter implementation."""
+        toks = {t: int(v) for t, v in enumerate(self._base) if v != t}
+        last_r = {x: int(v) for x, v in enumerate(self._last_r) if v != -1}
+        last_w = {x: int(v) for x, v in enumerate(self._last_w) if v != -1}
+        return toks, last_r, last_w
+
+    def seed_state(self, toks, last_r, last_w) -> None:
+        """Load state previously captured by :meth:`export_state` (or by
+        the scalar filter's dicts); the inverse of that method."""
+        for t, v in toks.items():
+            self._base[t] = v
+        top = max(max(last_r, default=-1), max(last_w, default=-1))
+        if top >= 0:
+            self._grow(top + 1)
+        for x, v in last_r.items():
+            self._last_r[x] = v
+        for x, v in last_w.items():
+            self._last_w[x] = v
 
     def apply(self, indices, kinds, tids, targets, sites, n: int) -> int:
         """Filter one decoded chunk in place; returns the kept length.

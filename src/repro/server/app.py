@@ -86,10 +86,14 @@ def control_endpoint_for(listener_address) -> Optional[str]:
     """The control endpoint derived from a bound trace endpoint: the
     ``<path>.ctl`` sidecar for Unix sockets, ``port+1`` for TCP (the
     server falls back to an ephemeral port if taken, and prints the
-    real one in its banner)."""
+    real one in its banner).  ``None`` when no port can be derived — a
+    listener on port 65535 has no ``port+1``; the control socket is
+    ephemeral and only the banner knows its address."""
     if isinstance(listener_address, str):
         return listener_address + ".ctl"
     host, port = listener_address
+    if not 0 < port + 1 <= 65535:
+        return None
     return "{}:{}".format(host, port + 1)
 
 
@@ -434,9 +438,15 @@ class ServerApp:
             host, port = listener_address
             sock = socket.socket(socket.AF_INET)
             sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-            try:
-                sock.bind((host, port + 1))
-            except OSError:
+            if 0 < port + 1 <= 65535:
+                try:
+                    sock.bind((host, port + 1))
+                except OSError:
+                    sock.bind((host, 0))
+            else:
+                # a listener on 65535 has no port+1 — binding it would
+                # raise OverflowError (which the OSError fallback never
+                # caught, crashing the server); go straight to ephemeral
                 sock.bind((host, 0))
             self.control_address = "{}:{}".format(*sock.getsockname()[:2])
         sock.listen(8)

@@ -110,15 +110,19 @@ def races_doc(app, tenant: str) -> dict:
     if sess is None:
         return {"class": "error",
                 "error": "unknown tenant {!r}".format(tenant)}
+    # one consistent view: the total and the rows must come from the
+    # same instant, or a feed racing this query can report a total that
+    # contradicts its own rows
     with sess.lock:
         rows = [[r["analysis"], r["event"], r["tid"], r["var"], r["site"],
                  r["access"], r["kinds"]] for r in sess.recent_races]
+        races_total = sess.races_total
     return {
         "class": "results",
         "mi-version": MI_VERSION,
         "results": {"class": "races", "data": rows},
         "tenant": tenant,
-        "races-total": sess.races_total,
+        "races-total": races_total,
     }
 
 
@@ -151,11 +155,23 @@ def handle_command(app, request) -> dict:
 
 def control_endpoint(spec: str) -> str:
     """Map a trace endpoint spec to its control endpoint (the client
-    half of the derivation the server applies at bind time)."""
+    half of the derivation the server applies at bind time).
+
+    Raises :class:`ValueError` when no valid control port can be
+    derived — a TCP server on port 65535 has no ``port+1``; its control
+    socket is on an ephemeral port (printed in the server banner),
+    which the caller must pass explicitly via ``--control``.
+    """
     kind, addr = parse_endpoint(spec)
     if kind == "unix":
         return addr + ".ctl"
     host, port = addr
+    if not 0 < port + 1 <= 65535:
+        raise ValueError(
+            "cannot derive a control endpoint from {}: port {} is out "
+            "of range (the server bound an ephemeral control port — "
+            "pass it explicitly via --control, it is printed in the "
+            "server banner)".format(spec, port + 1))
     return "{}:{}".format(host, port + 1)
 
 
@@ -172,7 +188,18 @@ def query(spec: str, request: dict,
         query("/tmp/repro.sock", {"command": "status"})["server"]["pid"]
     """
     endpoint = control if control is not None else control_endpoint(spec)
-    sock = connect_endpoint(endpoint, connect_timeout=timeout)
+    try:
+        sock = connect_endpoint(endpoint, connect_timeout=timeout)
+    except OSError as exc:
+        # the derived port+1 can point at nothing (the server fell back
+        # to an ephemeral control port when port+1 was taken); say so
+        # instead of surfacing a bare connection error
+        hint = ("" if control is not None else
+                " (derived from {}; if the server bound an ephemeral "
+                "control port — it prints the real one at startup — "
+                "pass it via --control)".format(spec))
+        raise OSError("cannot connect to control endpoint {}: {}{}".format(
+            endpoint, exc, hint)) from exc
     try:
         sock.settimeout(timeout)
         sock.sendall(json.dumps(request).encode("utf-8") + b"\n")
@@ -184,6 +211,22 @@ def query(spec: str, request: dict,
             data += chunk
         if not data:
             raise ValueError("empty control reply")
-        return json.loads(data.split(b"\n", 1)[0].decode("utf-8"))
+        line, newline, _ = data.partition(b"\n")
+        if not newline:
+            # the server terminates every reply with a newline, so a
+            # reply without one is incomplete: either it blew past the
+            # client-side cap or the connection died mid-reply — either
+            # way, json.loads on the fragment would raise an opaque
+            # parse error pointing nowhere near the real problem
+            if len(data) >= (1 << 22):
+                raise ValueError(
+                    "oversized control reply from {}: {} bytes with no "
+                    "terminator (over the 4 MiB cap; ask for less, e.g. "
+                    "a smaller retain_races)".format(endpoint, len(data)))
+            raise ValueError(
+                "truncated control reply from {}: connection closed "
+                "after {} bytes with no terminator".format(
+                    endpoint, len(data)))
+        return json.loads(line.decode("utf-8"))
     finally:
         sock.close()

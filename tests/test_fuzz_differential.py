@@ -19,12 +19,18 @@ asserts, for every analysis configuration in the matrix:
 Volume is dialed with ``--fuzz-count`` / ``FUZZ_COUNT`` (see conftest).
 """
 
+import json
+import os
 import random
+import subprocess
+import sys
+import textwrap
 import threading
 
 import pytest
 
 import repro
+from repro.checkpoint import restore_session, save_session
 from repro.core.engine import MultiRunner
 from repro.core.registry import create
 from repro.trace.event import Event, FORK, JOIN, STATIC_ACCESS, STATIC_INIT
@@ -182,6 +188,86 @@ def test_fuzz_parallel_equals_serial(fuzz_count, monkeypatch):
                     par.events_processed) == \
                 (ser.dynamic_count, ser.static_count,
                  ser.events_processed), (trial, workers, name)
+
+
+_REPLAY_SUFFIX = textwrap.dedent("""
+    import json, sys
+    from itertools import islice
+    from repro.checkpoint import restore_session
+    from repro.trace.format import stream_trace
+
+    session = restore_session(sys.argv[1])
+    source = iter(stream_trace(sys.argv[2]))
+    for _ in islice(source, session.events_processed):
+        pass
+    session.feed(source)
+    result = session.finish()
+    json.dump({e.name: [(r.index, r.var, r.tid, r.access, r.kinds)
+                        for r in e.report.races]
+               for e in result.entries}, sys.stdout)
+""")
+
+
+def test_fuzz_checkpoint_restore_equals_uninterrupted(fuzz_count, tmp_path):
+    """Every fuzzed trace, cut at a random offset, checkpointed to disk
+    and restored — in this process every trial, and in a *fresh* process
+    on a rotating subset — replays its suffix to reports bit-identical
+    to one uninterrupted run.  Wire formats alternate per trial, batch
+    kernels toggle on/off, and the full analysis matrix keeps the
+    shared-HB groups active across the round trip."""
+    from repro.trace.format import dump_trace, stream_trace
+
+    rng = random.Random(0xC4EC4)
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    for trial in range(fuzz_count):
+        trace = fuzzed_trace(rng, trial)
+        binary = trial % 2 == 0
+        use_kernels = None if trial % 3 else False
+        baseline = MultiRunner(
+            [create(name, trace) for name in ALL_ANALYSES],
+            use_kernels=use_kernels).run(trace)
+        expected = {name: _race_key(baseline.report(name))
+                    for name in ALL_ANALYSES}
+
+        path = str(tmp_path / "t{}{}".format(
+            trial, ".bin" if binary else ".trace"))
+        with open(path, "wb" if binary else "w") as fp:
+            dump_trace(trace, fp, binary=binary)
+        cut = rng.randrange(0, len(trace) + 1)
+
+        stream = stream_trace(path)
+        info = stream.require_info()
+        session = MultiRunner(
+            [create(name, info) for name in ALL_ANALYSES],
+            use_kernels=use_kernels).session()
+        source = iter(stream)
+        session.feed(source, max_events=cut)
+        assert session.events_processed == cut, trial
+        ckpt = str(tmp_path / "t{}.ckpt".format(trial))
+        save_session(session, ckpt)
+
+        restored = restore_session(ckpt)
+        assert restored.events_processed == cut, trial
+        restored.feed(source)
+        result = restored.finish()
+        assert result.ok, (trial, result.failures)
+        assert result.events_processed == len(trace), (trial, cut)
+        for name in ALL_ANALYSES:
+            assert _race_key(result.report(name)) == expected[name], \
+                (trial, cut, name)
+
+        if trial % 5 == 0:
+            proc = subprocess.run(
+                [sys.executable, "-c", _REPLAY_SUFFIX, ckpt, path],
+                capture_output=True, text=True, env=env, timeout=120)
+            assert proc.returncode == 0, (trial, proc.stderr)
+            doc = json.loads(proc.stdout)
+            assert doc == {name: [list(k) for k in keys]
+                           for name, keys in expected.items()}, (trial, cut)
 
 
 def test_fuzz_single_iteration_property(fuzz_count):

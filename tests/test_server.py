@@ -415,3 +415,109 @@ class TestParallelTenants:
             state, events, body = srv.wait_block("par")
             assert state == "complete" and events == len(avrora)
             assert body == solo_summary(avrora)
+
+
+def _reply_server(payload):
+    """A one-shot TCP 'control server': accepts one connection, reads
+    the request line, sends ``payload`` verbatim, and closes.  Returns
+    (endpoint, thread)."""
+    sock = socket.socket(socket.AF_INET)
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(1)
+    endpoint = "127.0.0.1:{}".format(sock.getsockname()[1])
+
+    def serve():
+        try:
+            conn, _ = sock.accept()
+            conn.settimeout(10.0)
+            data = b""
+            while b"\n" not in data:
+                chunk = conn.recv(4096)
+                if not chunk:
+                    break
+                data += chunk
+            try:
+                conn.sendall(payload)
+            except OSError:
+                pass  # the client bails at its read cap; EPIPE is fine
+            conn.close()
+        finally:
+            sock.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return endpoint, thread
+
+
+class TestControlPathEdges:
+    """The MI control-path bugfixes: port derivation at the top of the
+    TCP range, connection failures that name ``--control``, and replies
+    that come back without their newline terminator."""
+
+    def test_control_endpoint_derivation(self):
+        assert control_endpoint("example.org:1234") == "example.org:1235"
+        assert control_endpoint("/tmp/x.sock").endswith(".ctl")
+
+    def test_control_endpoint_port_65535_refused_with_hint(self):
+        with pytest.raises(ValueError) as exc:
+            control_endpoint("example.org:65535")
+        assert "--control" in str(exc.value)
+        assert "65536" in str(exc.value)
+
+    def test_control_endpoint_for_port_65535_is_none(self):
+        from repro.server.app import control_endpoint_for
+        assert control_endpoint_for(("127.0.0.1", 65535)) is None
+        assert control_endpoint_for(("127.0.0.1", 9000)) \
+            == "127.0.0.1:9001"
+        assert control_endpoint_for("/tmp/x.sock") == "/tmp/x.sock.ctl"
+
+    def test_connect_failure_names_control_flag(self):
+        # a port nothing listens on: bind-then-release
+        probe = socket.socket(socket.AF_INET)
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        with pytest.raises(OSError) as exc:
+            query("127.0.0.1:{}".format(port - 1), {"command": "status"},
+                  timeout=2.0)
+        message = str(exc.value)
+        assert "cannot connect to control endpoint" in message
+        assert "--control" in message  # derived endpoint: hint included
+        with pytest.raises(OSError) as exc:
+            query("ignored", {"command": "status"}, timeout=2.0,
+                  control="127.0.0.1:{}".format(port))
+        assert "--control" not in str(exc.value)  # explicit: no hint
+
+    def test_truncated_control_reply_is_descriptive(self):
+        endpoint, thread = _reply_server(b'{"class": "results"')
+        with pytest.raises(ValueError, match="truncated control reply"):
+            query("ignored", {"command": "status"}, control=endpoint)
+        thread.join(timeout=10)
+
+    def test_oversized_control_reply_is_descriptive(self):
+        endpoint, thread = _reply_server(b"x" * ((1 << 22) + 10))
+        with pytest.raises(ValueError, match="oversized control reply"):
+            query("ignored", {"command": "status"}, control=endpoint,
+                  timeout=30.0)
+        thread.join(timeout=30)
+
+    def test_control_port_65535_falls_back_to_ephemeral(self):
+        """The server half of the fix: a trace listener on port 65535
+        must not crash binding its control socket (port+1 would be
+        65536, an OverflowError the old OSError fallback never caught)
+        — it binds an ephemeral port and serves MI on it."""
+        app = ServerApp(ServerConfig(endpoint="127.0.0.1:65535",
+                                     multi=True, accept_poll=0.05))
+        thread = app._start_control(("127.0.0.1", 65535))
+        try:
+            assert app.control_address is not None
+            port = int(app.control_address.rsplit(":", 1)[1])
+            assert 0 < port < 65535 and port != 65535
+            doc = query("ignored", {"command": "metadata"},
+                        control=app.control_address)
+            assert doc["class"] == "metadata"
+        finally:
+            app._stop.set()
+            app._close_control()
+            thread.join(timeout=10)
+            assert not thread.is_alive()
