@@ -1,0 +1,69 @@
+"""Sync-preserving analysis throughput vs the SmartTrack flagship.
+
+``sp`` is the post-paper sync-preserving race predictor (DESIGN.md §11).
+It is deliberately a scalar, slow-path-only analysis — correctness and
+bit-identity with its ``unopt-sp`` reference come first — so this bench
+is *trend capture, not gating*: it records single-core events/s for
+``sp``, ``unopt-sp``, and ``st-wdc`` on the same million-event workload
+(scaled by ``REPRO_BENCH_SCALE``) into ``engine_syncp.json``, making the
+cost of the acquisition-history fixpoint visible across commits.
+
+The only assertions are correctness ones: the two SP tiers must report
+identical races, and every HB race must be an SP race.
+"""
+
+import time
+
+from benchmarks.conftest import bench_scale, write_result
+from repro.core.registry import create
+from repro.workloads import generate_trace, WorkloadSpec
+
+ANALYSES = ["sp", "unopt-sp", "st-wdc"]
+
+
+def _workload():
+    return generate_trace(WorkloadSpec(
+        name="syncp-bench", threads=8,
+        events=max(int(1_000_000 * bench_scale()), 5000),
+        predictive_races=3, hb_races=3, seed=11))
+
+
+def _solo_rate(name, trace, repeats=2):
+    best = float("inf")
+    report = None
+    for _ in range(repeats):
+        analysis = create(name, trace)
+        start = time.perf_counter()
+        report = analysis.run()
+        best = min(best, time.perf_counter() - start)
+    return len(trace) / best, report
+
+
+def test_syncp_throughput_vs_smarttrack(results_dir):
+    trace = _workload()
+    rates, reports = {}, {}
+    for name in ANALYSES:
+        rates[name], reports[name] = _solo_rate(name, trace)
+    # correctness, not perf: the optimized tier is bit-identical to the
+    # reference, and SP races contain the HB races
+    assert [(r.index, r.var) for r in reports["sp"].races] == \
+        [(r.index, r.var) for r in reports["unopt-sp"].races]
+    hb_report = create("unopt-hb", trace).run()
+    assert hb_report.racy_vars <= reports["sp"].racy_vars
+
+    lines = ["syncp single-core throughput ({} events, {} threads)".format(
+        len(trace), trace.num_threads)]
+    for name in ANALYSES:
+        lines.append("  {:<10} {:>12,.0f} events/s".format(name, rates[name]))
+    lines.append("  sp / st-wdc ratio: {:.2f}x".format(
+        rates["sp"] / rates["st-wdc"]))
+    text = "\n".join(lines)
+    print("\n" + text)
+    write_result(results_dir, "engine_syncp.txt", text, data={
+        "events": len(trace),
+        "threads": trace.num_threads,
+        "events_per_sec": {name: round(rates[name], 1) for name in ANALYSES},
+        "sp_vs_st_wdc": round(rates["sp"] / rates["st-wdc"], 4),
+        "racy_vars": {name: sorted(reports[name].racy_vars)
+                      for name in ANALYSES},
+    })

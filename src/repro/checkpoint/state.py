@@ -121,12 +121,16 @@ def save_session(session: EngineSession,
                      if entry.failure is not None],
         "peaks": [entry.peak for entry in entries],
         "filter": session._filter_state(),
+        # bounded-window bookkeeping (empty/None when windowing is off);
+        # restored with .get() so pre-window checkpoints still load
+        "window": (dict(session._var_last), session._next_evict),
         "config": {
             "sample_every": runner.sample_every,
             "chunk_events": runner.chunk_events,
             "share_hb": runner._share_hb,
             "use_kernels": runner._use_kernels,
             "max_pending_races": runner.max_pending_races,
+            "window_events": runner.window_events,
         },
     }
     meta = {
@@ -207,6 +211,7 @@ def restore_session(fp: Union[BinaryIO, str]) -> EngineSession:
         share_hb=config["share_hb"],
         use_kernels=config["use_kernels"],
         max_pending_races=config["max_pending_races"],
+        window_events=config.get("window_events"),
     )
     entries = runner.entries
     for i, peak in enumerate(payload["peaks"]):
@@ -224,7 +229,8 @@ def restore_session(fp: Union[BinaryIO, str]) -> EngineSession:
     # attach mid-run exactly (StKernel seeds its repair log from the
     # restored lock stacks)
     grouped = {id(m) for _, members in runner.hb_groups for m in members}
-    if config["use_kernels"] is not False and not config["sample_every"]:
+    if (config["use_kernels"] is not False and not config["sample_every"]
+            and config.get("window_events") is None):
         from repro.core import kernels
 
         if kernels.kernels_available():
@@ -234,6 +240,11 @@ def restore_session(fp: Union[BinaryIO, str]) -> EngineSession:
     runner._kernels_on = any(e.kernel is not None for e in entries)
     session = runner.session()
     session._events_seen = payload["events"]
+    window = payload.get("window")
+    if window is not None and runner.window_events is not None:
+        var_last, next_evict = window
+        session._var_last = dict(var_last)
+        session._next_evict = next_evict
     toks, last_r, last_w = payload["filter"]
     session._seed_filter(toks, last_r, last_w)
     return session

@@ -93,16 +93,30 @@ def _print_entries(result, args, vindicate_trace=None) -> int:
                          vindicate_trace=vindicate_trace)
 
 
+def _bad_window(args) -> bool:
+    """True (with the error printed) for a non-positive
+    ``--window-events``; the caller returns exit 2."""
+    window = getattr(args, "window_events", None)
+    if window is not None and window < 1:
+        print("error: --window-events must be >= 1 (got {})".format(window),
+              file=sys.stderr)
+        return True
+    return False
+
+
 def _cmd_analyze(args) -> int:
     analyses = args.analysis or ["st-wdc"]
     sample = 4096 if args.memory else 0
     workers = max(getattr(args, "workers", 1), 1)
+    if _bad_window(args):
+        return 2
+    window = args.window_events
     exit_code = 0
     if getattr(args, "cache", None):
-        if args.vindicate or args.memory or workers > 1:
+        if args.vindicate or args.memory or workers > 1 or window:
             print("error: --cache is a checkpointed streaming replay; it "
-                  "cannot be combined with --vindicate, --memory, or "
-                  "--workers", file=sys.stderr)
+                  "cannot be combined with --vindicate, --memory, "
+                  "--workers, or --window-events", file=sys.stderr)
             return 2
         from repro.checkpoint import analyze_cached
         return analyze_cached(args.cache, args.trace, analyses,
@@ -113,7 +127,7 @@ def _cmd_analyze(args) -> int:
                   "rerun without --stream", file=sys.stderr)
             return 2
         result = run_stream(args.trace, analyses, sample_every=sample,
-                            workers=workers)
+                            workers=workers, evict_window=window or 0)
         races_found = _print_entries(result, args)
         # 2 beats 1: a partially failed run is unreliable even when the
         # surviving analyses report races (documented 0/1/2 contract)
@@ -122,7 +136,18 @@ def _cmd_analyze(args) -> int:
     if workers > 1:
         from repro.core.parallel import ParallelRunner
         result = ParallelRunner(analyses, trace, workers=workers,
-                                sample_every=sample).run(trace)
+                                sample_every=sample,
+                                window_events=window).run(trace)
+        races_found = _print_entries(
+            result, args, vindicate_trace=trace if args.vindicate else None)
+        return 2 if not result.ok else races_found
+    if window:
+        # windowed serial pass: one engine run (eviction is an engine
+        # behavior; the solo Analysis.run() path has no window clock)
+        from repro.core.engine import MultiRunner
+        result = MultiRunner([create(name, trace) for name in analyses],
+                             sample_every=sample,
+                             window_events=window).run(trace)
         races_found = _print_entries(
             result, args, vindicate_trace=trace if args.vindicate else None)
         return 2 if not result.ok else races_found
@@ -255,6 +280,8 @@ def _cmd_generate(args) -> int:
 def _cmd_serve(args) -> int:
     # a thin shell: every serving behavior lives in repro.server
     from repro.server import ServerConfig, serve_main
+    if _bad_window(args):
+        return 2
     config = ServerConfig(
         endpoint=args.socket,
         analyses=args.analysis or ["st-wdc"],
@@ -267,6 +294,7 @@ def _cmd_serve(args) -> int:
         max_pending_races=args.max_pending_races,
         resume_grace=args.resume_grace,
         idle_ttl=args.idle_ttl,
+        window_events=args.window_events,
     )
     return serve_main(config)
 
@@ -443,6 +471,13 @@ def build_parser() -> argparse.ArgumentParser:
                               "trace lazily and feed all analyses from one "
                               "iteration (bounded memory; file must carry "
                               "the dump_trace header)")
+    analyze.add_argument("--window-events", type=int, default=None,
+                         metavar="N",
+                         help="bounded-window mode: age out per-variable "
+                              "metadata older than the last N events; "
+                              "races whose earlier access left the window "
+                              "are deliberately not reported (bounds "
+                              "analysis state on very long traces)")
     analyze.add_argument("--cache", metavar="DIR", default=None,
                          help="checkpointed result cache: an unchanged "
                               "trace returns its byte-identical summary "
@@ -553,6 +588,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bounded-state cap: keep at most N delivered "
                             "race records per analysis (summary counts "
                             "stay exact; default: keep all)")
+    serve.add_argument("--window-events", type=int, default=None,
+                       metavar="N",
+                       help="bounded-window mode: age out per-variable "
+                            "analysis metadata older than the last N "
+                            "events, so state stays bounded on an "
+                            "infinite feed (races straddling more than "
+                            "N..2N events are deliberately dropped; "
+                            "distinct from --window, the feed "
+                            "granularity)")
     add_workers(serve, "served analyses")
     serve.set_defaults(func=_cmd_serve, memory=False)
 

@@ -401,6 +401,20 @@ class Analysis:
               kinds: str) -> None:
         self.races.append(RaceRecord(i, site, x, t, access, kinds))
 
+    # -- bounded-window mode (engine ``window_events``; DESIGN.md §11) ------
+    def evict_window(self, cutoff: int, stale) -> None:
+        """Age out metadata older than the engine's event window.
+
+        Called by the engine at window boundaries with the first event
+        index still inside the window (``cutoff``) and the set of
+        variables whose last access predates it (``stale``).  Analyses
+        drop per-variable access metadata for ``stale`` variables and may
+        prune any other per-event state older than ``cutoff``; dropping
+        metadata trades precision for bounded state (races against
+        evicted accesses are no longer reported).  The default is a
+        no-op, which keeps unwindowed behavior for analyses that opt out.
+        """
+
     # -- memory -------------------------------------------------------------
     def footprint_bytes(self) -> int:
         """Estimated bytes of live analysis metadata (see DESIGN.md §2)."""

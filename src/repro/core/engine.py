@@ -265,9 +265,16 @@ class EngineSession:
         # sampling or case counting is on: a skipped access would then
         # miss a sample index / a same-epoch case bump.
         self._filter_on = (runner.sample_every == 0
+                           and runner.window_events is None
                            and all(e.analysis.SAME_EPOCH_SKIP
                                    and e.analysis.case_counts is None
                                    for e in self.entries))
+        # bounded-window mode: age out per-variable metadata at every
+        # multiple of the window (see MultiRunner ``window_events``)
+        self._window = runner.window_events
+        self._var_last: Dict[int, int] = {}
+        self._next_evict = (self._window if self._window is not None
+                            else None)
         # batch kernels (repro.core.kernels): entries with a kernel skip
         # the per-event replay; chunks are then packaged into a shared
         # ChunkPlan, and the decode-time filter runs vectorized
@@ -384,6 +391,8 @@ class EngineSession:
         tids = self._tids
         targets = self._targets
         sites = self._sites
+        window = self._window
+        var_last = self._var_last
         i = self._events_seen - 1
         exhausted = False
         # Batch-pass GC hygiene: with N analyses' metadata live at once,
@@ -397,6 +406,14 @@ class EngineSession:
         try:
             while not exhausted:
                 n = 0
+                limit = chunk_size
+                if window is not None:
+                    # clamp the chunk at the next eviction boundary, so
+                    # windowed results are chunk-size-independent and
+                    # identical across the serial and parallel paths
+                    room = self._next_evict - (i + 1)
+                    if room < limit:
+                        limit = room
                 source_error: Optional[BaseException] = None
                 try:
                     if filter_on:
@@ -427,7 +444,23 @@ class EngineSession:
                             targets[n] = x
                             sites[n] = e.site
                             n += 1
-                            if n == chunk_size:
+                            if n == limit:
+                                break
+                        else:
+                            exhausted = True
+                    elif window is not None:
+                        for e in source:
+                            i += 1
+                            k = e.kind
+                            indices[n] = i
+                            kinds[n] = k
+                            tids[n] = e.tid
+                            targets[n] = e.target
+                            sites[n] = e.site
+                            if k <= 1:  # refresh the variable's age
+                                var_last[e.target] = i
+                            n += 1
+                            if n == limit:
                                 break
                         else:
                             exhausted = True
@@ -440,7 +473,7 @@ class EngineSession:
                             targets[n] = e.target
                             sites[n] = e.site
                             n += 1
-                            if n == chunk_size:
+                            if n == limit:
                                 break
                         else:
                             exhausted = True
@@ -483,6 +516,11 @@ class EngineSession:
                     if progress is not None:
                         progress(i + 1)
                         self._reported = i + 1
+                if window is not None and i + 1 == self._next_evict:
+                    # evict even when the source just failed: the decoded
+                    # prefix was replayed above, and a resumed feed must
+                    # find the boundary already advanced
+                    self._evict()
                 if source_error is not None:
                     raise source_error
         finally:
@@ -525,6 +563,12 @@ class EngineSession:
             gc.disable()
         try:
             if n:
+                if self._window is not None:
+                    # the parallel parent decoded; track variable ages here
+                    var_last = self._var_last
+                    for o in range(n):
+                        if kinds[o] <= 1:
+                            var_last[targets[o]] = indices[o]
                 live = self._live
                 make_plan = self._make_plan
                 plan = (make_plan(indices, kinds, tids, targets, sites, n)
@@ -549,7 +593,43 @@ class EngineSession:
             self._events_seen = events_seen
             if gc_was_enabled:
                 gc.enable()
+        if self._window is not None:
+            # the parent clamps chunks at window boundaries, so the
+            # boundary is crossed exactly at a chunk edge
+            while events_seen >= self._next_evict:
+                self._evict()
         return self._deliver()
+
+    def _evict(self) -> None:
+        """Apply one window-boundary eviction (bounded-window mode):
+        advance the boundary and hand every live analysis the stale
+        variable set (last access before the new cutoff) via
+        :meth:`~repro.core.base.Analysis.evict_window`."""
+        window = self._window
+        cutoff = self._next_evict - window
+        self._next_evict += window
+        if cutoff <= 0:
+            return  # first boundary: everything is within the window
+        var_last = self._var_last
+        stale = [x for x, last in var_last.items() if last < cutoff]
+        for x in stale:
+            del var_last[x]
+        stale_set = frozenset(stale)
+        live = self._live
+        for entry in list(live):
+            try:
+                entry.analysis.evict_window(cutoff, stale_set)
+            except Exception as exc:  # detach this analysis
+                entry.failure = AnalysisFailure(entry.name, -1, exc)
+                live.remove(entry)
+        for bank, members in self._groups:
+            for entry in list(members):
+                try:
+                    entry.analysis.evict_window(cutoff, stale_set)
+                except Exception as exc:  # detach this member
+                    entry.failure = AnalysisFailure(entry.name, -1, exc)
+                    members.remove(entry)
+                    bank.drop()
 
     def _deliver(self) -> List[tuple]:
         """Hand out the pending races, then enforce the bounded-state
@@ -785,19 +865,43 @@ class MultiRunner:
         (:meth:`EngineSession.trim_delivered`), so a race-heavy tenant's
         memory stays bounded while ``dynamic_count``/``static_count`` in
         the final reports remain exact.
+    window_events:
+        Bounded-window mode (None = off, the offline default): at every
+        multiple of N events the session ages out per-variable analysis
+        metadata whose variable was last accessed more than N events ago
+        (:meth:`~repro.core.base.Analysis.evict_window`), so
+        per-variable state stays bounded by the variables active in the
+        trailing window — the *metadata* half of serving an infinite
+        feed, complementing ``max_pending_races``.  Races between
+        accesses more than 2N events apart are no longer reported
+        (metadata survives at least N and less than 2N events; DESIGN.md
+        §11).  Chunks are clamped so no chunk crosses a window boundary,
+        which makes windowed results independent of ``chunk_events`` and
+        identical across the serial and parallel paths.  Windowed runs
+        use the scalar replay paths (no batch kernels) and disable the
+        shared same-epoch filter (a filtered repeat would not refresh
+        its variable's last-access age).
     """
 
     def __init__(self, analyses: Sequence[Analysis], sample_every: int = 0,
                  progress: Optional[Callable[[int], None]] = None,
                  chunk_events: int = 8192, share_hb: bool = True,
                  use_kernels: Optional[bool] = None,
-                 max_pending_races: Optional[int] = None):
+                 max_pending_races: Optional[int] = None,
+                 window_events: Optional[int] = None):
         if not analyses:
             raise ValueError("MultiRunner needs at least one analysis")
+        if window_events is not None:
+            window_events = int(window_events)
+            if window_events < 1:
+                raise ValueError(
+                    "window_events must be >= 1 (got {})".format(
+                        window_events))
         self.entries = [EngineEntry(a) for a in analyses]
         self.sample_every = sample_every
         self.progress = progress
         self.chunk_events = max(chunk_events, 1)
+        self.window_events = window_events
         self.max_pending_races = (None if max_pending_races is None
                                   else max(max_pending_races, 0))
         #: shared-HB groups: list of (bank, [entries]) — usually 0 or 1.
@@ -825,7 +929,10 @@ class MultiRunner:
         if self._kernels_attached:
             return
         self._kernels_attached = True
-        if self._use_kernels is False or self.sample_every:
+        if (self._use_kernels is False or self.sample_every
+                or self.window_events is not None):
+            # window mode keeps the scalar paths: kernel fast paths
+            # cache per-variable state that eviction would invalidate
             return
         from repro.core import kernels
 
@@ -1144,7 +1251,8 @@ def run_analyses(trace: Union[Trace, TraceInfo], names: Sequence[str],
 
 def run_stream(source, names: Sequence[str], sample_every: int = 0,
                progress: Optional[Callable[[int], None]] = None,
-               window_events: int = 0, workers: int = 1) -> MultiResult:
+               window_events: int = 0, workers: int = 1,
+               evict_window: int = 0) -> MultiResult:
     """Analyze a trace file (or open handle) in one streaming pass.
 
     The trace — v1 text or v2 binary, autodetected from the leading
@@ -1165,6 +1273,12 @@ def run_stream(source, names: Sequence[str], sample_every: int = 0,
     still parses the file exactly once, and the merged reports are
     bit-identical to the in-process pass.  ``progress`` is not
     supported on the sharded path.
+
+    ``evict_window`` > 0 turns on the engine's bounded-window mode
+    (``MultiRunner(window_events=...)``): per-variable metadata older
+    than that many events is aged out, trading long-range races for
+    bounded state.  Distinct from ``window_events``, which only sets
+    the drain granularity and never changes reports.
     """
     from repro.trace.format import stream_trace
 
@@ -1173,15 +1287,20 @@ def run_stream(source, names: Sequence[str], sample_every: int = 0,
 
         return run_parallel(source, names, workers=workers,
                             sample_every=sample_every,
-                            window_events=window_events)
+                            window_events=window_events,
+                            evict_window=evict_window)
     stream = stream_trace(source)
     info = stream.require_info()
+    evict = evict_window if evict_window > 0 else None
     if window_events > 0:
         runner = MultiRunner([create(name, info) for name in names],
-                             sample_every=sample_every, progress=progress)
+                             sample_every=sample_every, progress=progress,
+                             window_events=evict)
         session = runner.session()
         for _ in session.drain(stream, window=window_events):
             pass
         return session.finish()
-    return run_analyses(info, names, events=stream,
-                        sample_every=sample_every, progress=progress)
+    analyses = [create(name, info) for name in names]
+    runner = MultiRunner(analyses, sample_every=sample_every,
+                         progress=progress, window_events=evict)
+    return runner.run(stream)

@@ -108,6 +108,19 @@ class _EpochHbBase(VectorClockAnalysis):
             stack.remove(m)
         self._bump(t)
 
+    def evict_window(self, cutoff: int, stale) -> None:
+        """Bounded-window mode: reset epochs of stale variables to bottom
+        and drop their shared-read clocks (per-lock clocks are O(locks),
+        not per-variable, and stay; DESIGN.md §11)."""
+        read = self._read
+        write = self._write
+        nv = len(read)
+        for x in stale:
+            if x < nv:
+                read[x] = PACKED_BOTTOM
+                write[x] = PACKED_BOTTOM
+            self._read_vc.pop(x, None)
+
     def footprint_bytes(self) -> int:
         vc = _vc_bytes(self.width)
         total = self._base_footprint()

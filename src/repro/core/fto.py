@@ -196,6 +196,24 @@ class FTOPredictive(VectorClockAnalysis):
         vc[t] = time
         self._read[x] = vc
 
+    # -- bounded-window mode --------------------------------------------------
+    def evict_window(self, cutoff: int, stale) -> None:
+        """Drop per-variable access and rule (a) metadata of stale
+        variables (per-lock clocks and rule (b) queues are O(locks),
+        not per-variable, and stay; DESIGN.md §11)."""
+        if not stale:
+            return
+        for x in stale:
+            self._read.pop(x, None)
+            self._write.pop(x, None)
+        for store in (self._lr, self._lw):
+            for key in [k for k in store if k[1] in stale]:
+                del store[key]
+        for s in self._rm.values():
+            s.difference_update(stale)
+        for s in self._wm.values():
+            s.difference_update(stale)
+
     # -- memory --------------------------------------------------------------
     def footprint_bytes(self) -> int:
         vc = _vc_bytes(self.width)

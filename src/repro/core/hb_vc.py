@@ -90,6 +90,14 @@ class UnoptHB(VectorClockAnalysis):
             self._write[x] = w
         w[t] = time
 
+    def evict_window(self, cutoff: int, stale) -> None:
+        """Bounded-window mode: drop last-access clocks of stale
+        variables (per-lock/volatile clocks are O(locks), not per-var,
+        and stay; DESIGN.md §11)."""
+        for x in stale:
+            self._read.pop(x, None)
+            self._write.pop(x, None)
+
     def footprint_bytes(self) -> int:
         vc = _vc_bytes(self.width)
         n = len(self._lock_clock) + len(self._read) + len(self._write)

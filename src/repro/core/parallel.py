@@ -127,10 +127,12 @@ def plan_shards(names: Sequence[str], workers: int) -> List[List[int]]:
     """Family-aware shard assignment: positions of ``names`` per worker.
 
     Policy (DESIGN.md §6.2): the pure-HB tier (relation ``hb``) is
-    placed as one atomic group, and the WCP family (relation ``wcp``)
-    as another, so the engine's shared-clock-bank fusion keeps paying
-    off inside a shard; the remaining analyses (DC/WDC tiers, which
-    share nothing) are spread one by one onto the least-loaded shard.
+    placed as one atomic group, the WCP family (relation ``wcp``) as
+    another — so the engine's shared-clock-bank fusion keeps paying
+    off inside a shard — and the sync-preserving family (relation
+    ``sp``) as a third, keeping its reference/optimized pair
+    co-scheduled; the remaining analyses (DC/WDC tiers, which share
+    nothing) are spread one by one onto the least-loaded shard.
     ``workers`` is clamped to ``len(names)``; shards left empty by
     atomic-group placement are dropped, so every returned shard is
     non-empty.
@@ -141,16 +143,18 @@ def plan_shards(names: Sequence[str], workers: int) -> List[List[int]]:
     workers = max(1, min(workers, len(names)))
     hb: List[int] = []
     wcp: List[int] = []
+    sp: List[int] = []
     rest: List[int] = []
     for pos, name in enumerate(names):
         rel = relation_of(name)
-        (hb if rel == "hb" else wcp if rel == "wcp" else rest).append(pos)
+        (hb if rel == "hb" else wcp if rel == "wcp"
+         else sp if rel == "sp" else rest).append(pos)
     shards: List[List[int]] = [[] for _ in range(workers)]
 
     def lightest() -> List[int]:
         return min(shards, key=len)
 
-    for group in sorted((hb, wcp), key=len, reverse=True):
+    for group in sorted((hb, wcp, sp), key=len, reverse=True):
         if group:
             lightest().extend(group)
     for pos in rest:
@@ -383,7 +387,8 @@ def _close_inherited_sockets() -> None:
 
 def _worker_main(shard_id: int, names: Sequence[str], info_dims: tuple,
                  transport_args: tuple, result_q, sample_every: int,
-                 chunk_events: int, crash_after: Optional[int]) -> None:
+                 chunk_events: int, window_events: Optional[int],
+                 crash_after: Optional[int]) -> None:
     """One worker: a private engine session over this shard's analyses.
 
     Drains decoded chunks from the transport until the end-of-stream
@@ -423,7 +428,8 @@ def _worker_main(shard_id: int, names: Sequence[str], info_dims: tuple,
         info = TraceInfo(*info_dims)
         runner = MultiRunner([create(name, info) for name in names],
                              sample_every=sample_every,
-                             chunk_events=chunk_events)
+                             chunk_events=chunk_events,
+                             window_events=window_events)
         session = runner.session()
         rx = _attach_transport(transport_args)
         chunks = 0
@@ -510,6 +516,10 @@ class ParallelSession:
         self._toks: Dict[int, int] = {}
         self._last_r: Dict[int, int] = {}
         self._last_w: Dict[int, int] = {}
+        # bounded-window mode: the workers evict; the parent only clamps
+        # its broadcast chunks at window boundaries (serial == parallel)
+        self._window = runner.window_events
+        self._next_evict = self._window
         self._i = -1
         self.entries = [ShardEntry(name, -1) for name in runner.names]
         ctx = _mp_context()
@@ -530,6 +540,7 @@ class ParallelSession:
                               [runner.names[p] for p in positions],
                               info_dims, tx.worker_args(), self._results,
                               runner.sample_every, chunk,
+                              runner.window_events,
                               runner._crash_after.get(shard_id)),
                         daemon=True)
                     shard = _Shard(shard_id, positions, tx, proc)
@@ -748,9 +759,19 @@ class ParallelSession:
             else self._runner.chunk_events
         pending: List[tuple] = []
         while True:
-            n, exhausted, err = self._fill_chunk(source, limit)
+            step = limit
+            if self._window is not None:
+                # never decode across an eviction boundary (mirrors the
+                # serial session's chunk clamping)
+                room = self._next_evict - (self._i + 1)
+                if room < step:
+                    step = room
+            n, exhausted, err = self._fill_chunk(source, step)
             if n:
                 self._broadcast(n)
+            if (self._window is not None
+                    and self._i + 1 == self._next_evict):
+                self._next_evict += self._window
             self._poll_results(pending)
             while pending:
                 yield pending.pop(0)
@@ -872,11 +893,19 @@ class ParallelRunner:
     chunk_events:
         Decode/broadcast chunk size; also the unit of shared-memory
         slot sizing (five int64 columns of this length per slot).
+    window_events:
+        Bounded-window mode, as in
+        :class:`~repro.core.engine.MultiRunner`: each worker session
+        ages out per-variable metadata older than this many events.
+        The parent clamps its broadcast chunks at window boundaries and
+        disables its shared same-epoch filter, so windowed sharded
+        reports are bit-identical to a windowed serial pass.
     """
 
     def __init__(self, names: Sequence[str], info: Union[Trace, TraceInfo],
                  workers: int = 2, sample_every: int = 0,
                  chunk_events: int = 8192,
+                 window_events: Optional[int] = None,
                  _crash_after: Optional[Dict[int, int]] = None):
         self.names = list(names)
         if not self.names:
@@ -896,11 +925,20 @@ class ParallelRunner:
         self.shards = plan_shards(self.names, self.workers)
         self.sample_every = sample_every
         self.chunk_events = max(chunk_events, 1)
+        if window_events is not None:
+            window_events = int(window_events)
+            if window_events < 1:
+                raise ValueError(
+                    "window_events must be >= 1 (got {})".format(
+                        window_events))
+        self.window_events = window_events
         # The parent applies the engine's shared same-epoch filter once
         # for every worker; legal under exactly the serial conditions
-        # (every analysis declares the fast-path semantics, no sampling).
+        # (every analysis declares the fast-path semantics, no sampling,
+        # no bounded window — filtered repeats would not refresh ages).
         probe = TraceInfo(num_threads=1)
         self._filter_on = (sample_every == 0
+                           and window_events is None
                            and all(create(name, probe).SAME_EPOCH_SKIP
                                    for name in set(self.names)))
         self._crash_after = _crash_after or {}
@@ -944,7 +982,8 @@ class ParallelRunner:
 
 def run_parallel(source, names: Sequence[str], workers: int,
                  sample_every: int = 0,
-                 window_events: int = 0) -> MultiResult:
+                 window_events: int = 0,
+                 evict_window: int = 0) -> MultiResult:
     """Analyze a trace file (or open handle) with sharded workers.
 
     The parallel counterpart of :func:`repro.core.engine.run_stream`:
@@ -952,7 +991,10 @@ def run_parallel(source, names: Sequence[str], workers: int,
     in the parent and broadcast to ``workers`` analysis shards.  The
     file must declare its dimensions up front (both formats written by
     :func:`repro.trace.format.dump_trace` do).  ``window_events`` > 0
-    caps the broadcast chunk size (the serving-loop granularity knob).
+    caps the broadcast chunk size (the serving-loop granularity knob);
+    ``evict_window`` > 0 turns on the engine's bounded-window metadata
+    eviction inside every worker (see
+    :class:`~repro.core.engine.MultiRunner` ``window_events``).
     """
     from repro.trace.format import stream_trace
 
@@ -960,8 +1002,9 @@ def run_parallel(source, names: Sequence[str], workers: int,
     # name or hostile header dimensions must not leak the descriptor
     with stream_trace(source) as stream:
         info = stream.require_info()
-        runner = ParallelRunner(names, info, workers=workers,
-                                sample_every=sample_every)
+        runner = ParallelRunner(
+            names, info, workers=workers, sample_every=sample_every,
+            window_events=evict_window if evict_window > 0 else None)
         session = runner.session()
         try:
             for _ in session.drain(stream, window=window_events):

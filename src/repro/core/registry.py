@@ -7,6 +7,9 @@ Names follow ``<tier>-<relation>``::
     unopt-dc   unopt-dc-g fto-dc    st-dc
     unopt-wdc  unopt-wdc-g fto-wdc  st-wdc
 
+plus the post-paper sync-preserving family (``unopt-sp`` reference,
+``sp`` optimized; see :mod:`repro.core.syncp` and DESIGN.md §11).
+
 The ``-g`` suffix builds a constraint graph for vindication (Table 3's
 "w/ G" columns).
 """
@@ -20,6 +23,7 @@ from repro.core.fasttrack import FastTrack2, FTOHb
 from repro.core.fto import FTODC, FTOWCP, FTOWDC
 from repro.core.hb_vc import UnoptHB
 from repro.core.smarttrack import SmartTrackDC, SmartTrackWCP, SmartTrackWDC
+from repro.core.syncp import SyncP, UnoptSyncP
 from repro.core.unopt import UnoptDC, UnoptWCP, UnoptWDC
 from repro.trace.trace import Trace
 
@@ -38,6 +42,8 @@ _FACTORIES: Dict[str, Callable[[Trace], Analysis]] = {
     "st-wcp": SmartTrackWCP,
     "st-dc": SmartTrackDC,
     "st-wdc": SmartTrackWDC,
+    "unopt-sp": UnoptSyncP,
+    "sp": SyncP,
 }
 
 #: All registry names, in Table 1 order.
@@ -57,6 +63,7 @@ BY_RELATION: Dict[str, List[str]] = {
     "wcp": ["unopt-wcp", "fto-wcp", "st-wcp"],
     "dc": ["unopt-dc", "fto-dc", "st-dc"],
     "wdc": ["unopt-wdc", "fto-wdc", "st-wdc"],
+    "sp": ["unopt-sp", "sp"],
 }
 
 
@@ -84,11 +91,13 @@ def relation_of(name: str) -> str:
 
 
 def tier_of(name: str) -> str:
-    """The optimization tier ("unopt"/"epoch"/"fto"/"st")."""
+    """The optimization tier ("unopt"/"epoch"/"fto"/"st"/"sp")."""
     if name.startswith("unopt"):
         return "unopt"
     if name == "ft2":
         return "epoch"
     if name.startswith("fto"):
         return "fto"
+    if name == "sp":
+        return "sp"
     return "st"

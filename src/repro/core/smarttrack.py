@@ -364,6 +364,28 @@ class SmartTrack(VectorClockAnalysis):
             self._lr[x] = lr
         lr[t] = tuple(self._stack[t])
 
+    # -- bounded-window mode -------------------------------------------------
+    def evict_window(self, cutoff: int, stale) -> None:
+        """Reset per-variable epochs/CS-lists/extra-clock maps of stale
+        variables (per-thread CS stacks and rule (b) queues are not
+        per-variable and stay; DESIGN.md §11)."""
+        read = self._read
+        write = self._write
+        lw = self._lw
+        lr = self._lr
+        eflags = self._eflags
+        nv = len(read)
+        for x in stale:
+            if x < nv:
+                read[x] = PACKED_BOTTOM
+                write[x] = PACKED_BOTTOM
+                lw[x] = None
+                lr[x] = None
+                eflags[x] = 0
+            self._read_vc.pop(x, None)
+            self._er.pop(x, None)
+            self._ew.pop(x, None)
+
     # -- memory -------------------------------------------------------------
     def footprint_bytes(self) -> int:
         vc = _vc_bytes(self.width)

@@ -57,7 +57,7 @@ from repro.trace.event import (
 )
 from repro.trace.trace import Trace
 
-RELATIONS = ("hb", "wcp", "dc", "wdc")
+RELATIONS = ("hb", "sp", "wcp", "dc", "wdc")
 
 
 class CriticalSection(NamedTuple):
@@ -271,7 +271,7 @@ class RelationClosure:
 
 
 def compute_closure(trace: Trace, relation: str) -> RelationClosure:
-    """Compute the given relation ("hb", "wcp", "dc", or "wdc") of a trace."""
+    """Compute the given relation ("hb", "sp", "wcp", "dc", "wdc") of a trace."""
     if relation not in RELATIONS:
         raise ValueError("unknown relation {!r}".format(relation))
     n = len(trace)
@@ -289,6 +289,20 @@ def compute_closure(trace: Trace, relation: str) -> RelationClosure:
         return RelationClosure(trace, relation, before)
 
     sections = _critical_sections(trace)
+
+    # SP (sync-preserving; Mathur et al.): program order and hard edges,
+    # plus *conditional* release→acquire edges per lock — rel1 orders
+    # before a later acq2 of the same lock only once acq1 is already in
+    # acq2's SP past (the acquiring thread observed the first critical
+    # section, so no sync-preserving reordering can swap them).  A subset
+    # of HB's unconditional rel→acq edges, so HB ⊆ SP on races.
+    if relation == "sp":
+        edges = list(po + hard)
+        while True:
+            before = _forward_closure(n, [], edges)
+            added = _derive_sp_edges(sections, before, edges)
+            if not added:
+                return RelationClosure(trace, relation, before)
 
     if relation == "dc":
         edges = list(po + hard + rule_a)
@@ -358,6 +372,30 @@ def _wcp_forward(n: int, carry: Sequence[Tuple[int, int]],
             np.logical_or(row, before[j], out=row)
             row[j] = True
     return before
+
+
+def _derive_sp_edges(sections, before: np.ndarray,
+                     edges: List[Tuple[int, int]]) -> bool:
+    """Add SP edges rel1 -> acq2 (same lock) whose premise (acq1 ordered
+    before acq2) holds under the current closure.  Returns True if any
+    were new.  Same-thread pairs are skipped: program order already
+    orders them, matching the online analyses' no-op self-joins."""
+    existing = set(edges)
+    added = False
+    for cs_list in sections.values():
+        for i, first in enumerate(cs_list):
+            if first.rel is None:
+                continue
+            for second in cs_list[i + 1:]:
+                if first.tid == second.tid:
+                    continue
+                if before[second.acq, first.acq]:
+                    edge = (first.rel, second.acq)
+                    if edge not in existing:
+                        existing.add(edge)
+                        edges.append(edge)
+                        added = True
+    return added
 
 
 def _derive_rule_b(trace: Trace, sections, before: np.ndarray,

@@ -80,6 +80,10 @@ class ServerConfig:
     retain_races: int = 256
     accept_poll: float = 0.25
     control: bool = True
+    #: bounded-window mode: age out per-variable analysis metadata older
+    #: than this many events (None = keep everything forever); with
+    #: ``max_pending_races`` this gives bounded state on infinite feeds
+    window_events: Optional[int] = None
 
 
 def control_endpoint_for(listener_address) -> Optional[str]:
@@ -524,11 +528,13 @@ def run_single(config: ServerConfig) -> int:
         try:
             if workers > 1:
                 from repro.core.parallel import ParallelRunner
-                runner = ParallelRunner(analyses, info, workers=workers)
+                runner = ParallelRunner(analyses, info, workers=workers,
+                                        window_events=config.window_events)
             else:
                 runner = MultiRunner(
                     [create(name, info) for name in analyses],
-                    max_pending_races=config.max_pending_races)
+                    max_pending_races=config.max_pending_races,
+                    window_events=config.window_events)
         except ValueError as exc:
             # a remote producer controls these dimensions; an absurd
             # header (e.g. more threads than packed epochs support) is a

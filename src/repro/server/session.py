@@ -162,12 +162,14 @@ class TenantSession:
                         from repro.core.parallel import ParallelRunner
                         self.runner = ParallelRunner(
                             list(config.analyses), info,
-                            workers=config.workers)
+                            workers=config.workers,
+                            window_events=config.window_events)
                     else:
                         from repro.core.engine import MultiRunner
                         self.runner = MultiRunner(
                             [create(name, info) for name in config.analyses],
-                            max_pending_races=config.max_pending_races)
+                            max_pending_races=config.max_pending_races,
+                            window_events=config.window_events)
                     self.session = self.runner.session()
             except ValueError as exc:
                 self.runner = None

@@ -39,21 +39,15 @@ from repro.trace.event import (
     WRITE,
     Event,
 )
+from repro.core.registry import ANALYSIS_NAMES, BY_RELATION
 from repro.trace.trace import Trace
 
-ALL_ANALYSES = [
-    "unopt-hb", "ft2", "fto-hb",
-    "unopt-wcp", "fto-wcp", "st-wcp",
-    "unopt-dc", "fto-dc", "st-dc",
-    "unopt-wdc", "fto-wdc", "st-wdc",
-]
+# Every registered streaming analysis (graph-building "-g" variants are
+# offline-only and exercised separately).  Derived from the registry so a
+# newly registered analysis automatically joins every fuzz sweep.
+ALL_ANALYSES = [n for n in ANALYSIS_NAMES if not n.endswith("-g")]
 
-REL_ANALYSES = {
-    "hb": ["unopt-hb", "ft2", "fto-hb"],
-    "wcp": ["unopt-wcp", "fto-wcp", "st-wcp"],
-    "dc": ["unopt-dc", "fto-dc", "st-dc"],
-    "wdc": ["unopt-wdc", "fto-wdc", "st-wdc"],
-}
+REL_ANALYSES = {rel: list(names) for rel, names in BY_RELATION.items()}
 
 
 def random_trace(rng: random.Random, n_events: int = 50, threads: int = 4,

@@ -25,7 +25,7 @@ def first_per_var(pairs, trace):
     return out
 
 
-@pytest.mark.parametrize("relation", ["hb", "wcp", "dc", "wdc"])
+@pytest.mark.parametrize("relation", ["hb", "sp", "wcp", "dc", "wdc"])
 def test_analyses_match_oracle(relation, rng):
     for trial in range(60):
         trace = random_trace(rng, n_events=50)

@@ -8,7 +8,9 @@ asserts, for every analysis configuration in the matrix:
     trace) and the new single-pass :class:`MultiRunner` report *identical*
     races,
 (b) the paper's race-subset hierarchy holds: every HB-race is a WCP-race
-    is a DC-race is a WDC-race (racy-variable sets nest accordingly), and
+    is a DC-race is a WDC-race (racy-variable sets nest accordingly),
+    every HB-race is a sync-preserving (SP) race, and the two SP tiers
+    report bit-identical races, and
 (c) *online == offline*: replaying the same trace through a live socket
     session (``repro.trace.live`` + ``MultiRunner.session()``) in
     randomized feed-window sizes — alternating the binary and text wire
@@ -44,6 +46,15 @@ HIERARCHY_CHAINS = [
     ("unopt-hb", "unopt-wcp", "unopt-dc", "unopt-wdc"),
     ("fto-hb", "fto-wcp", "fto-dc", "fto-wdc"),
     ("fto-hb", "st-wcp", "st-dc", "st-wdc"),
+]
+
+#: HB ⊆ SP pairs (sync-preserving races are a superset of HB races;
+#: SP vs WCP/DC/WDC is deliberately *not* an inclusion in either
+#: direction, so those only get the no-crash + solo-identity checks).
+SP_CONTAINS_HB = [
+    ("unopt-hb", "unopt-sp"),
+    ("ft2", "sp"),
+    ("fto-hb", "sp"),
 ]
 
 
@@ -99,6 +110,29 @@ def test_fuzz_multirunner_vs_solo_and_hierarchy(fuzz_count):
             racy = [result.report(name).racy_vars for name in chain]
             for weaker, stronger in zip(racy, racy[1:]):
                 assert weaker <= stronger, (trial, chain)
+        # (b') every HB race is a sync-preserving race, and the two SP
+        # tiers are bit-identical (same records, same order)
+        for hb_name, sp_name in SP_CONTAINS_HB:
+            assert result.report(hb_name).racy_vars <= \
+                result.report(sp_name).racy_vars, (trial, hb_name, sp_name)
+        assert _race_key(result.report("sp")) == \
+            _race_key(result.report("unopt-sp")), trial
+
+
+def test_every_registered_analysis_is_fuzzed():
+    """Meta-test for the registry audit: any newly registered analysis
+    must land in the fuzz matrix (``conftest.ALL_ANALYSES`` is derived
+    from the registry; the graph-building ``-g`` variants are covered
+    through their base configuration by the dedicated graph tests)."""
+    from repro.core.registry import ANALYSIS_NAMES, BY_RELATION
+
+    covered = set(ALL_ANALYSES)
+    for name in ANALYSIS_NAMES:
+        base = name[:-2] if name.endswith("-g") else name
+        assert base in covered, name
+    # every relation family is fuzzed too
+    for relation, members in BY_RELATION.items():
+        assert set(members) <= covered, relation
 
 
 def test_fuzz_online_socket_session_equals_offline(fuzz_count, tmp_path):
